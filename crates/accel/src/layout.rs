@@ -1,0 +1,108 @@
+//! Physical address layout of the graph data structures in DRAM.
+//!
+//! The accelerator streams four arrays (Section II-B): the CSR row offsets (4 B per
+//! vertex, replicated per tile), the CSR column indices + weights (8 B per edge), the
+//! sequentially-read source properties `Vprop` (8 B per vertex) and the randomly-accessed
+//! destination properties `Vtemp` (8 B per vertex). This module assigns each array a
+//! contiguous region so the memory model sees realistic row/bank behaviour.
+
+use piccolo_graph::{Csr, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Byte sizes of the graph data elements.
+pub const ROW_OFFSET_BYTES: u64 = 4;
+/// Bytes per edge entry (destination id + weight).
+pub const EDGE_BYTES: u64 = 8;
+/// Bytes per vertex property.
+pub const PROP_BYTES: u64 = 8;
+
+/// Base addresses of the graph arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphLayout {
+    /// Base of the row-offset array.
+    pub row_offsets_base: u64,
+    /// Base of the column-index/weight array.
+    pub columns_base: u64,
+    /// Base of the `Vprop` array.
+    pub vprop_base: u64,
+    /// Base of the `Vtemp` array.
+    pub vtemp_base: u64,
+    /// One past the last byte of the layout.
+    pub end: u64,
+}
+
+impl GraphLayout {
+    /// Lays out the arrays of `graph` back to back, each aligned to 4 KiB.
+    pub fn new(graph: &Csr) -> Self {
+        const ALIGN: u64 = 4096;
+        let align = |x: u64| x.div_ceil(ALIGN) * ALIGN;
+        let n = graph.num_vertices() as u64;
+        let e = graph.num_edges();
+        let row_offsets_base = 0;
+        let columns_base = align(row_offsets_base + (n + 1) * ROW_OFFSET_BYTES);
+        let vprop_base = align(columns_base + e * EDGE_BYTES);
+        let vtemp_base = align(vprop_base + n * PROP_BYTES);
+        let end = align(vtemp_base + n * PROP_BYTES);
+        Self {
+            row_offsets_base,
+            columns_base,
+            vprop_base,
+            vtemp_base,
+            end,
+        }
+    }
+
+    /// Address of vertex `v`'s row offset entry.
+    pub fn row_offset_addr(&self, v: VertexId) -> u64 {
+        self.row_offsets_base + v as u64 * ROW_OFFSET_BYTES
+    }
+
+    /// Address of edge slot `e` in the column array.
+    pub fn column_addr(&self, e: u64) -> u64 {
+        self.columns_base + e * EDGE_BYTES
+    }
+
+    /// Address of `Vprop[v]`.
+    pub fn vprop_addr(&self, v: VertexId) -> u64 {
+        self.vprop_base + v as u64 * PROP_BYTES
+    }
+
+    /// Address of `Vtemp[v]`.
+    pub fn vtemp_addr(&self, v: VertexId) -> u64 {
+        self.vtemp_base + v as u64 * PROP_BYTES
+    }
+
+    /// Total footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piccolo_graph::generate;
+
+    #[test]
+    fn regions_do_not_overlap_and_are_ordered() {
+        let g = generate::kronecker(10, 4, 1);
+        let l = GraphLayout::new(&g);
+        assert!(l.row_offsets_base < l.columns_base);
+        assert!(l.columns_base < l.vprop_base);
+        assert!(l.vprop_base < l.vtemp_base);
+        assert!(l.vtemp_base < l.end);
+        // The last row-offset entry stays below the column base.
+        assert!(l.row_offset_addr(g.num_vertices()) <= l.columns_base);
+        assert!(l.column_addr(g.num_edges() - 1) + EDGE_BYTES <= l.vprop_base);
+        assert!(l.vtemp_addr(g.num_vertices() - 1) + PROP_BYTES <= l.end);
+    }
+
+    #[test]
+    fn addresses_are_contiguous_within_arrays() {
+        let g = generate::path(100);
+        let l = GraphLayout::new(&g);
+        assert_eq!(l.vtemp_addr(1) - l.vtemp_addr(0), PROP_BYTES);
+        assert_eq!(l.vprop_addr(7) - l.vprop_addr(3), 4 * PROP_BYTES);
+        assert_eq!(l.footprint() % 4096, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Breadth-first search as a vertex program.
+
+use crate::vcm::{Algorithm, VertexProgram};
+use crate::UNREACHED;
+use piccolo_graph::{ActiveSet, Csr, VertexId, Weight};
+
+/// BFS levels from a single `source` vertex.
+///
+/// The property is the hop distance (`UNREACHED` for vertices not yet discovered);
+/// `Process` adds one hop, `Reduce`/`Apply` take the minimum.
+///
+/// # Example
+///
+/// ```
+/// use piccolo_algo::{Bfs, run_vcm, UNREACHED};
+/// let g = piccolo_graph::generate::star(4);
+/// let r = run_vcm(&g, &Bfs::new(0), 40);
+/// assert_eq!(r.props[3], 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfs {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// Creates a BFS program rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Bfs
+    }
+
+    fn initial_value(&self, v: VertexId, _graph: &Csr) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn temp_identity(&self, _v: VertexId, _graph: &Csr) -> u32 {
+        UNREACHED
+    }
+
+    fn initial_active(&self, graph: &Csr) -> ActiveSet {
+        let mut a = ActiveSet::new(graph.num_vertices());
+        if self.source < graph.num_vertices() {
+            a.activate(self.source);
+        }
+        a
+    }
+
+    fn vconst(&self, _v: VertexId, _graph: &Csr) -> u32 {
+        0
+    }
+
+    fn process(&self, _edge_weight: Weight, src_prop: u32) -> u32 {
+        src_prop.saturating_add(1)
+    }
+
+    fn reduce(&self, acc: u32, contribution: u32) -> u32 {
+        acc.min(contribution)
+    }
+
+    fn apply(&self, old: u32, temp: u32, _vconst: u32) -> u32 {
+        old.min(temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcm::run_vcm;
+    use piccolo_graph::{generate, Edge, EdgeList};
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = generate::grid(4, 5);
+        let r = run_vcm(&g, &Bfs::new(0), 40);
+        for row in 0..4u32 {
+            for col in 0..5u32 {
+                assert_eq!(r.props[row * 5 + col], row + col);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let mut el = EdgeList::new(5);
+        el.push(Edge::new(0, 1, 1));
+        // Vertices 2..4 are unreachable from 0.
+        let g = el.to_csr();
+        let r = run_vcm(&g, &Bfs::new(0), 40);
+        assert_eq!(r.props[1], 1);
+        assert_eq!(r.props[2], UNREACHED);
+        assert_eq!(r.props[4], UNREACHED);
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let g = generate::kronecker(7, 4, 1);
+        let r = run_vcm(&g, &Bfs::new(3), 40);
+        assert_eq!(r.props[3], 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Textbook reference implementations used as ground truth for the vertex programs.
+//!
+//! These are deliberately simple (priority queues, plain BFS, union-find) and independent
+//! of the VCM machinery so that agreement between the two is meaningful evidence of
+//! correctness.
+
+use crate::UNREACHED;
+use piccolo_graph::{Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS hop distances from `source` (`UNREACHED` if not reachable).
+pub fn bfs_levels(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in graph.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra shortest-path distances from `source` (`UNREACHED` if not reachable).
+pub fn dijkstra(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Widest-path bottleneck widths from `source` (0 if not reachable, `u32::MAX` at the
+/// source itself), computed with a max-heap variant of Dijkstra.
+pub fn widest_path(graph: &Csr, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut width = vec![0u32; n];
+    if (source as usize) >= n {
+        return width;
+    }
+    width[source as usize] = u32::MAX;
+    let mut heap = BinaryHeap::new();
+    heap.push((u32::MAX, source));
+    while let Some((w, u)) = heap.pop() {
+        if w < width[u as usize] {
+            continue;
+        }
+        for (v, ew) in graph.neighbors(u) {
+            let nw = w.min(ew);
+            if nw > width[v as usize] {
+                width[v as usize] = nw;
+                heap.push((nw, v));
+            }
+        }
+    }
+    width
+}
+
+/// Weakly connected component labels via union-find over the undirected edge set. Labels
+/// are the minimum vertex id in each component, matching the label-propagation program.
+pub fn weakly_connected_components(graph: &Csr) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    for e in graph.iter_edges() {
+        let ra = find(&mut parent, e.src);
+        let rb = find(&mut parent, e.dst);
+        if ra != rb {
+            // Union by minimum id so labels are canonical.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Plain power-iteration PageRank returning actual ranks (not contribution form).
+pub fn pagerank(graph: &Csr, damping: f64, iterations: u32) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let nf = n.max(1) as f64;
+    let mut rank = vec![1.0 / nf; n as usize];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / 1.0; n as usize];
+        // Match the accelerator formulation: new = (1-d) + d * sum(contrib), no 1/N term,
+        // ranks are per-vertex scores rather than a probability distribution.
+        for v in next.iter_mut() {
+            *v = 1.0 - damping;
+        }
+        for u in 0..n {
+            let deg = graph.out_degree(u).max(1) as f64;
+            let contrib = rank[u as usize] / deg;
+            for (v, _) in graph.neighbors(u) {
+                next[v as usize] += damping * contrib;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piccolo_graph::{generate, Edge, EdgeList};
+
+    #[test]
+    fn bfs_matches_grid_structure() {
+        let g = generate::grid(3, 3);
+        let d = bfs_levels(&g, 0);
+        assert_eq!(d[8], 4);
+        assert_eq!(d[4], 2);
+    }
+
+    #[test]
+    fn dijkstra_handles_weights() {
+        let mut el = EdgeList::new(4);
+        el.push(Edge::new(0, 1, 1));
+        el.push(Edge::new(1, 2, 1));
+        el.push(Edge::new(0, 2, 5));
+        let g = el.to_csr();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn widest_path_bottleneck() {
+        let mut el = EdgeList::new(3);
+        el.push(Edge::new(0, 1, 4));
+        el.push(Edge::new(1, 2, 9));
+        let g = el.to_csr();
+        let w = widest_path(&g, 0);
+        assert_eq!(w[1], 4);
+        assert_eq!(w[2], 4);
+    }
+
+    #[test]
+    fn wcc_labels_are_canonical_minimum() {
+        let mut el = EdgeList::new(6);
+        el.push(Edge::new(4, 1, 1));
+        el.push(Edge::new(1, 2, 1));
+        el.push(Edge::new(5, 3, 1));
+        let g = el.to_csr();
+        let labels = weakly_connected_components(&g);
+        assert_eq!(labels[4], 1);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[5], 3);
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn pagerank_sums_reasonably() {
+        let g = generate::kronecker(7, 4, 9);
+        let pr = pagerank(&g, 0.85, 30);
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+}

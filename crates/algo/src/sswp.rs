@@ -1,0 +1,120 @@
+//! Single-source widest path as a vertex program.
+
+use crate::vcm::{Algorithm, VertexProgram};
+use piccolo_graph::{ActiveSet, Csr, VertexId, Weight};
+
+/// Widest-path "capacity" from a single `source`.
+///
+/// The property is the bottleneck (minimum edge weight) of the widest path from the
+/// source: `Process` takes `min(src_width, edge_weight)`, `Reduce`/`Apply` take the
+/// maximum. The source itself has infinite width.
+///
+/// # Example
+///
+/// ```
+/// use piccolo_algo::{Sswp, run_vcm};
+/// use piccolo_graph::{Edge, EdgeList};
+/// let mut el = EdgeList::new(3);
+/// el.push(Edge::new(0, 1, 5));
+/// el.push(Edge::new(1, 2, 3));
+/// let r = run_vcm(&el.to_csr(), &Sswp::new(0), 40);
+/// assert_eq!(r.props[2], 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sswp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sswp {
+    /// Creates an SSWP program rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+
+    /// Width assigned to the source (effectively infinite).
+    pub const SOURCE_WIDTH: u32 = u32::MAX;
+}
+
+impl VertexProgram for Sswp {
+    type Value = u32;
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Sswp
+    }
+
+    fn initial_value(&self, v: VertexId, _graph: &Csr) -> u32 {
+        if v == self.source {
+            Self::SOURCE_WIDTH
+        } else {
+            0
+        }
+    }
+
+    fn temp_identity(&self, _v: VertexId, _graph: &Csr) -> u32 {
+        0
+    }
+
+    fn initial_active(&self, graph: &Csr) -> ActiveSet {
+        let mut a = ActiveSet::new(graph.num_vertices());
+        if self.source < graph.num_vertices() {
+            a.activate(self.source);
+        }
+        a
+    }
+
+    fn vconst(&self, _v: VertexId, _graph: &Csr) -> u32 {
+        0
+    }
+
+    fn process(&self, edge_weight: Weight, src_prop: u32) -> u32 {
+        src_prop.min(edge_weight)
+    }
+
+    fn reduce(&self, acc: u32, contribution: u32) -> u32 {
+        acc.max(contribution)
+    }
+
+    fn apply(&self, old: u32, temp: u32, _vconst: u32) -> u32 {
+        old.max(temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::vcm::run_vcm;
+    use piccolo_graph::{generate, Edge, EdgeList};
+
+    #[test]
+    fn widest_path_prefers_wide_route() {
+        // Two routes from 0 to 2: direct with width 2, or via 1 with widths 10 and 7.
+        let mut el = EdgeList::new(3);
+        el.push(Edge::new(0, 2, 2));
+        el.push(Edge::new(0, 1, 10));
+        el.push(Edge::new(1, 2, 7));
+        let g = el.to_csr();
+        let r = run_vcm(&g, &Sswp::new(0), 40);
+        assert_eq!(r.props[2], 7);
+        assert_eq!(r.props[1], 10);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let g = generate::uniform(150, 900, 23);
+        let r = run_vcm(&g, &Sswp::new(0), 1000);
+        let expected = reference::widest_path(&g, 0);
+        assert_eq!(r.props.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn unreachable_vertices_have_zero_width() {
+        let mut el = EdgeList::new(3);
+        el.push(Edge::new(1, 2, 4));
+        let g = el.to_csr();
+        let r = run_vcm(&g, &Sswp::new(0), 40);
+        assert_eq!(r.props[1], 0);
+        assert_eq!(r.props[2], 0);
+    }
+}

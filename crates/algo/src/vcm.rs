@@ -1,0 +1,265 @@
+//! The vertex-centric programming model (Algorithm 1 of the paper).
+//!
+//! A [`VertexProgram`] supplies the three application-defined operators (`Process`,
+//! `Reduce`, `Apply`), the initial property/temporary values, and the initial active set.
+//! [`run_vcm`] executes the program functionally until convergence (or an iteration cap),
+//! returning the final vertex properties and per-iteration statistics. The accelerator
+//! simulator drives the exact same trait to generate memory traces, so both agree on the
+//! work performed.
+
+use piccolo_graph::{ActiveSet, Csr, VertexId, VertexProps, Weight};
+use serde::{Deserialize, Serialize};
+
+/// The five graph algorithms evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// PageRank (all vertices active every iteration).
+    PageRank,
+    /// Breadth-first search from a source vertex.
+    Bfs,
+    /// Connected components (label propagation).
+    ConnectedComponents,
+    /// Single-source shortest path (Bellman-Ford style relaxation).
+    Sssp,
+    /// Single-source widest path.
+    Sswp,
+}
+
+impl Algorithm {
+    /// The five algorithms in the order the paper's figures use.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::PageRank,
+        Algorithm::Bfs,
+        Algorithm::ConnectedComponents,
+        Algorithm::Sssp,
+        Algorithm::Sswp,
+    ];
+
+    /// Short name used in figures (PR/BFS/CC/SSSP/SSWP).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Algorithm::PageRank => "PR",
+            Algorithm::Bfs => "BFS",
+            Algorithm::ConnectedComponents => "CC",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::Sswp => "SSWP",
+        }
+    }
+
+    /// Whether the algorithm keeps every vertex active every iteration (PR) or works on a
+    /// shrinking/expanding frontier (the "active-vertex-based" algorithms of Section
+    /// VII-C).
+    pub fn is_all_active(&self) -> bool {
+        matches!(self, Algorithm::PageRank)
+    }
+}
+
+/// A vertex program in the Process/Reduce/Apply form of Algorithm 1.
+///
+/// `Value` is the per-vertex property type (`f64` rank for PageRank, `u32` distances /
+/// labels / widths for the others).
+pub trait VertexProgram {
+    /// Per-vertex property type.
+    type Value: Copy + PartialEq + std::fmt::Debug;
+
+    /// Which algorithm this program implements (used for reporting).
+    fn algorithm(&self) -> Algorithm;
+
+    /// Initial `Vprop[v]`.
+    fn initial_value(&self, v: VertexId, graph: &Csr) -> Self::Value;
+
+    /// Identity element of `Reduce` used to (re-)initialise `Vtemp[v]` each iteration.
+    fn temp_identity(&self, v: VertexId, graph: &Csr) -> Self::Value;
+
+    /// Initial active-vertex set.
+    fn initial_active(&self, graph: &Csr) -> ActiveSet;
+
+    /// Per-vertex constant (`Vconst[v]` in Algorithm 1), e.g. the out-degree for PageRank.
+    fn vconst(&self, v: VertexId, graph: &Csr) -> Self::Value;
+
+    /// `Process(e.weight, Vprop[u])` — produce the contribution of an edge.
+    fn process(&self, edge_weight: Weight, src_prop: Self::Value) -> Self::Value;
+
+    /// `Reduce(Vtemp[v], res)` — combine contributions (must be commutative/associative).
+    fn reduce(&self, acc: Self::Value, contribution: Self::Value) -> Self::Value;
+
+    /// `Apply(Vprop[v], Vtemp[v], Vconst[v])` — compute the new property.
+    fn apply(&self, old: Self::Value, temp: Self::Value, vconst: Self::Value) -> Self::Value;
+
+    /// Whether `new` differs enough from `old` to re-activate the vertex (exact
+    /// inequality by default; PageRank overrides this with an epsilon test).
+    fn changed(&self, old: Self::Value, new: Self::Value) -> bool {
+        old != new
+    }
+}
+
+/// Per-iteration statistics of a functional VCM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: u32,
+    /// Number of active vertices at the start of the iteration.
+    pub active_vertices: u32,
+    /// Number of edges traversed (out-edges of active vertices).
+    pub edges_traversed: u64,
+    /// Number of vertices whose property changed (activated for the next iteration).
+    pub vertices_updated: u32,
+}
+
+/// Result of running a vertex program to convergence.
+#[derive(Debug, Clone)]
+pub struct VcmResult<V> {
+    /// Final vertex properties.
+    pub props: VertexProps<V>,
+    /// Number of iterations executed.
+    pub iterations: u32,
+    /// Whether the run converged (empty frontier) before hitting the iteration cap.
+    pub converged: bool,
+    /// Per-iteration statistics.
+    pub stats: Vec<IterationStats>,
+}
+
+impl<V> VcmResult<V> {
+    /// Total number of edges traversed over all iterations.
+    pub fn total_edges_traversed(&self) -> u64 {
+        self.stats.iter().map(|s| s.edges_traversed).sum()
+    }
+}
+
+/// Runs `program` on `graph` until the frontier is empty or `max_iterations` is reached.
+///
+/// This is the *functional* executor: it performs the same computation as the simulated
+/// accelerator but without any memory-system modelling, and is used as the source of truth
+/// for correctness tests and for iteration statistics fed to the simulator.
+///
+/// The paper caps runs at 40 iterations "for cases where the number of iterations was too
+/// long"; callers should pass 40 to match.
+pub fn run_vcm<P: VertexProgram>(graph: &Csr, program: &P, max_iterations: u32) -> VcmResult<P::Value> {
+    let n = graph.num_vertices();
+    let mut props = VertexProps::new(n, program.initial_value(0.min(n.saturating_sub(1)), graph));
+    for v in 0..n {
+        props[v] = program.initial_value(v, graph);
+    }
+    let mut active = program.initial_active(graph);
+    let mut stats = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..max_iterations {
+        if active.is_empty() {
+            converged = true;
+            break;
+        }
+        iterations = iter + 1;
+
+        // (Re-)initialise Vtemp with the reduce identity.
+        let mut temp = VertexProps::new(n, program.temp_identity(0.min(n.saturating_sub(1)), graph));
+        for v in 0..n {
+            temp[v] = program.temp_identity(v, graph);
+        }
+
+        // Scatter phase: lines 2-5 of Algorithm 1.
+        let mut edges_traversed = 0u64;
+        for u in active.iter_sorted() {
+            let src_prop = props[u];
+            for (v, w) in graph.neighbors(u) {
+                let res = program.process(w, src_prop);
+                temp[v] = program.reduce(temp[v], res);
+                edges_traversed += 1;
+            }
+        }
+
+        // Apply phase: lines 6-10 of Algorithm 1.
+        let mut next_active = ActiveSet::new(n);
+        let mut updated = 0;
+        for v in 0..n {
+            let vconst = program.vconst(v, graph);
+            let new = program.apply(props[v], temp[v], vconst);
+            if program.changed(props[v], new) {
+                props[v] = new;
+                next_active.activate(v);
+                updated += 1;
+            }
+        }
+
+        stats.push(IterationStats {
+            iteration: iter,
+            active_vertices: active.len(),
+            edges_traversed,
+            vertices_updated: updated,
+        });
+
+        // All-active algorithms (PageRank) scatter every vertex each iteration until no
+        // vertex changes at all; frontier algorithms only scatter the changed vertices.
+        active = if program.algorithm().is_all_active() && updated > 0 {
+            ActiveSet::all(n)
+        } else if program.algorithm().is_all_active() {
+            ActiveSet::new(n)
+        } else {
+            next_active
+        };
+    }
+    if active.is_empty() {
+        converged = true;
+    }
+
+    VcmResult {
+        props,
+        iterations,
+        converged,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::pagerank::PageRank;
+    use piccolo_graph::generate;
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::PageRank.short_name(), "PR");
+        assert_eq!(Algorithm::Sswp.short_name(), "SSWP");
+        assert!(Algorithm::PageRank.is_all_active());
+        assert!(!Algorithm::Bfs.is_all_active());
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+
+    #[test]
+    fn bfs_on_path_converges() {
+        let g = generate::path(16);
+        let r = run_vcm(&g, &Bfs::new(0), 40);
+        assert!(r.converged);
+        assert_eq!(r.props[15], 15);
+        // 15 productive iterations plus one final iteration that discovers the empty frontier.
+        assert_eq!(r.iterations, 16);
+        // Exactly one frontier vertex per iteration on a path.
+        assert!(r.stats.iter().all(|s| s.active_vertices == 1));
+    }
+
+    #[test]
+    fn stats_edges_sum() {
+        let g = generate::star(10);
+        let r = run_vcm(&g, &Bfs::new(0), 40);
+        assert_eq!(r.total_edges_traversed(), 9);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = generate::kronecker(8, 4, 2);
+        let r = run_vcm(&g, &PageRank::default(), 3);
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn empty_frontier_terminates_immediately() {
+        // A source with no out-edges: BFS finishes after one iteration.
+        let g = generate::path(4);
+        let r = run_vcm(&g, &Bfs::new(3), 40);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks: one (small-scale) benchmark per paper figure/table.
+//!
+//! Each benchmark runs the corresponding experiment driver from `piccolo::experiments`
+//! at `Scale::quick()` (tiny stand-in graphs) so `cargo bench --workspace` finishes in
+//! minutes; the `repro` binary runs the same drivers at full reproduction scale and
+//! prints the series the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piccolo::experiments::{self, Scale};
+use piccolo_algo::Algorithm;
+use piccolo_graph::Dataset;
+
+fn tiny() -> Scale {
+    Scale { scale_shift: 15, seed: 7, max_iterations: 2 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ds = [Dataset::Sinaweibo];
+    let algs = [Algorithm::Bfs];
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig03_motivation", |b| b.iter(|| experiments::fig03(tiny(), &ds)));
+    g.bench_function("fig09_microbenchmark", |b| b.iter(experiments::fig09));
+    g.bench_function("fig10_overall_speedup", |b| b.iter(|| experiments::fig10(tiny(), &ds, &algs)));
+    g.bench_function("fig11_cache_designs", |b| b.iter(|| experiments::fig11(tiny(), &ds, &algs)));
+    g.bench_function("fig12_memory_access", |b| b.iter(|| experiments::fig12(tiny(), &ds, &algs)));
+    g.bench_function("fig13_bandwidth", |b| b.iter(|| experiments::fig13(tiny(), &ds, &algs)));
+    g.bench_function("fig14_energy", |b| b.iter(|| experiments::fig14(tiny(), &ds, &algs)));
+    g.bench_function("fig15_memory_types", |b| b.iter(|| experiments::fig15(tiny(), Dataset::Sinaweibo, &algs)));
+    g.bench_function("fig16_channels_ranks", |b| b.iter(|| experiments::fig16(tiny(), Dataset::Sinaweibo, &algs)));
+    g.bench_function("fig17_tile_size", |b| b.iter(|| experiments::fig17(tiny(), Dataset::Sinaweibo, &algs)));
+    g.bench_function("fig18_synthetic_graphs", |b| b.iter(|| experiments::fig18(tiny())));
+    g.bench_function("fig19a_edge_centric", |b| b.iter(|| experiments::fig19a(tiny(), &ds)));
+    g.bench_function("fig19b_olap", |b| b.iter(|| experiments::fig19b(5_000)));
+    g.bench_function("fig20a_enhanced_designs", |b| b.iter(|| experiments::fig20a(tiny(), Dataset::Sinaweibo, &algs)));
+    g.bench_function("fig20b_prefetch_off", |b| b.iter(|| experiments::fig20b(tiny(), &ds)));
+    g.bench_function("table2_datasets", |b| b.iter(|| experiments::table2(tiny())));
+    g.bench_function("area_report", |b| b.iter(piccolo::area_report));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

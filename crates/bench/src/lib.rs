@@ -1,0 +1,2 @@
+//! Benchmark harness crate: see the `repro` binary and the Criterion benches under
+//! `benches/`. All experiment logic lives in `piccolo::experiments`.

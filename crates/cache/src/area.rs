@@ -1,0 +1,128 @@
+//! Tag/metadata overhead model (Fig. 5 and the area analysis of Section VII-F).
+//!
+//! The paper quantifies the storage cost of each cache organisation relative to its data
+//! capacity: an 8 B-line cache needs a full tag per 8 B (≈45 % overhead), while
+//! Piccolo-cache needs one short tag per 128 B line (≈2 %) plus an 8-bit fg-tag per 8 B
+//! sector (12.5 %). These functions reproduce those numbers for any geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Tag/metadata overhead of a cache organisation, as a fraction of the data capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagOverhead {
+    /// Per-line tag bits relative to data bits.
+    pub line_tag_fraction: f64,
+    /// Per-sector metadata bits (fg-tags, valid/dirty bits) relative to data bits.
+    pub sector_meta_fraction: f64,
+}
+
+impl TagOverhead {
+    /// Total overhead fraction.
+    pub fn total(&self) -> f64 {
+        self.line_tag_fraction + self.sector_meta_fraction
+    }
+}
+
+fn log2_ceil(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Overhead of a plain set-associative cache with `line_bytes` lines.
+///
+/// The tag is `address_bits - set_bits - offset_bits` wide; one valid + one dirty bit per
+/// line is charged to the sector metadata fraction.
+pub fn set_assoc_overhead(
+    address_bits: u32,
+    capacity_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+) -> TagOverhead {
+    let sets = (capacity_bytes / (line_bytes as u64 * ways as u64)).max(1);
+    let set_bits = log2_ceil(sets);
+    let offset_bits = log2_ceil(line_bytes as u64);
+    let tag_bits = address_bits.saturating_sub(set_bits + offset_bits);
+    let data_bits = line_bytes as f64 * 8.0;
+    TagOverhead {
+        line_tag_fraction: tag_bits as f64 / data_bits,
+        sector_meta_fraction: 2.0 / data_bits,
+    }
+}
+
+/// Overhead of the sectored cache: one line tag plus a valid + dirty bit per 8 B sector.
+pub fn sectored_overhead(
+    address_bits: u32,
+    capacity_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+) -> TagOverhead {
+    let base = set_assoc_overhead(address_bits, capacity_bytes, line_bytes, ways);
+    let sectors = (line_bytes / 8) as f64;
+    TagOverhead {
+        line_tag_fraction: base.line_tag_fraction,
+        sector_meta_fraction: (2.0 * sectors) / (line_bytes as f64 * 8.0),
+    }
+}
+
+/// Overhead of Piccolo-cache: a short per-line tag (the address bits above the fg-tag)
+/// plus `fg_tag_bits` + valid + dirty per 8 B sector.
+pub fn piccolo_overhead(
+    address_bits: u32,
+    capacity_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+    fg_tag_bits: u32,
+) -> TagOverhead {
+    let sets = (capacity_bytes / (line_bytes as u64 * ways as u64)).max(1);
+    let set_bits = log2_ceil(sets);
+    let offset_bits = log2_ceil(line_bytes as u64);
+    let tag_bits = address_bits.saturating_sub(set_bits + offset_bits + fg_tag_bits);
+    let data_bits = line_bytes as f64 * 8.0;
+    TagOverhead {
+        line_tag_fraction: tag_bits as f64 / data_bits,
+        sector_meta_fraction: (fg_tag_bits as f64 + 2.0) / 64.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's example: 4 MiB, 8-way, 48-bit addresses.
+    const CAP: u64 = 4 << 20;
+    const ADDR: u32 = 48;
+
+    #[test]
+    fn eight_byte_line_cache_has_about_45_percent_tag_overhead() {
+        let o = set_assoc_overhead(ADDR, CAP, 8, 8);
+        // 29-bit tag per 64 data bits = 45.31 %.
+        assert!((o.line_tag_fraction - 0.4531).abs() < 0.01, "{o:?}");
+    }
+
+    #[test]
+    fn conventional_cache_tag_overhead_is_small() {
+        let o = set_assoc_overhead(ADDR, CAP, 64, 8);
+        assert!(o.line_tag_fraction < 0.06);
+    }
+
+    #[test]
+    fn piccolo_cache_matches_paper_fractions() {
+        let o = piccolo_overhead(ADDR, CAP, 128, 8, 8);
+        // 21-bit tag per 1024 data bits = 2.05 %; 8-bit fg-tag per 64 data bits = 12.5 %
+        // (plus the valid/dirty bits we also charge).
+        assert!((o.line_tag_fraction - 0.0205).abs() < 0.002, "{o:?}");
+        assert!((o.sector_meta_fraction - 0.15625).abs() < 0.04, "{o:?}");
+        assert!(o.total() < set_assoc_overhead(ADDR, CAP, 8, 8).total() / 2.0);
+    }
+
+    #[test]
+    fn sectored_cache_overhead_sits_between_conventional_and_piccolo() {
+        let sec = sectored_overhead(ADDR, CAP, 64, 8);
+        let conv = set_assoc_overhead(ADDR, CAP, 64, 8);
+        assert!(sec.total() > conv.total());
+        assert!(sec.total() < set_assoc_overhead(ADDR, CAP, 8, 8).total());
+    }
+}

@@ -1,0 +1,41 @@
+//! On-chip cache models and miss-handling architecture for the Piccolo reproduction.
+//!
+//! This crate implements the on-chip half of Piccolo and of the designs it is compared
+//! against in Fig. 11 of the paper:
+//!
+//! * [`SetAssocCache`] — the conventional 64 B cache, the ideal 8 B-line cache, and
+//!   reduced-effective-capacity approximations of Amoeba/Scrabble/Graphfire,
+//! * [`SectoredCache`] — the classic sectored design (one tag per line, per-sector valid),
+//! * [`PiccoloCache`] — the paper's fg-tag cache with way partitioning (Section V),
+//! * [`CollectionMshr`] — the collection-extended MSHR that turns 8 B misses into
+//!   in-memory gather/scatter operations (Section V-C),
+//! * [`area`] — the tag/metadata overhead model behind Fig. 5's percentages.
+//!
+//! # Example
+//!
+//! ```
+//! use piccolo_cache::{PiccoloCache, SectorCache};
+//!
+//! let mut cache = PiccoloCache::with_capacity(64 * 1024);
+//! let miss = cache.access(0x1000, 8, false);
+//! assert!(!miss.hit);
+//! assert!(cache.access(0x1000, 8, false).hit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod collection_mshr;
+pub mod piccolo;
+pub mod sectored;
+pub mod setassoc;
+pub mod stats;
+pub mod traits;
+
+pub use collection_mshr::{CollectionMshr, CollectionMshrStats, ScatterGatherKind};
+pub use piccolo::{PiccoloCache, PiccoloCacheConfig};
+pub use sectored::SectoredCache;
+pub use setassoc::SetAssocCache;
+pub use stats::CacheStats;
+pub use traits::{AccessResult, MissAction, ReplacementPolicy, SectorCache};

@@ -1,0 +1,472 @@
+//! Piccolo-cache (Section V of the paper).
+//!
+//! Piccolo-cache stores 8 B sectors inside 128 B lines (16 sectors). Each line carries one
+//! address *tag*; each sector additionally carries an 8-bit *fine-grained tag* (fg-tag),
+//! so the sectors of one line may come from anywhere in a 32 KiB window (fg-tag 8 bits +
+//! fg-offset 4 bits + byte offset 3 bits) that shares the line tag. This keeps the tag
+//! overhead near a conventional cache (≈2 % line tags + 12.5 % fg-tags) while behaving
+//! almost like the ideal 8 B-line cache.
+//!
+//! Address split (paper example: 48-bit addresses, 4 MiB, 8-way):
+//!
+//! ```text
+//!  | tag | fg-tag | set index | fg-offset | byte offset |
+//!  |  21 |      8 |        12 |         4 |           3 |
+//! ```
+//!
+//! The same tag may occupy several ways of a set; lookups search the ways sequentially
+//! (cheap, throughput-oriented). Replacement follows Section V-B: on an fg-tag miss the
+//! victim is a *sector* of the LRU line with the same tag, unless the tag occupies fewer
+//! ways than its way-partitioning allocation, in which case a whole line of another tag
+//! is evicted to install a new line for this tag.
+
+use crate::stats::CacheStats;
+use crate::traits::{AccessResult, MissAction, ReplacementPolicy, SectorCache};
+
+const SECTOR_BYTES: u64 = 8;
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+    /// 2-bit re-reference prediction value when RRIP replacement is used.
+    rrpv: u8,
+    sector_valid: Vec<bool>,
+    sector_dirty: Vec<bool>,
+    sector_fgtag: Vec<u16>,
+}
+
+impl Line {
+    fn empty(sectors: usize) -> Self {
+        Self {
+            valid: false,
+            tag: 0,
+            lru: 0,
+            rrpv: 3,
+            sector_valid: vec![false; sectors],
+            sector_dirty: vec![false; sectors],
+            sector_fgtag: vec![0; sectors],
+        }
+    }
+}
+
+/// Geometry of a [`PiccoloCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PiccoloCacheConfig {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (16 sectors of 8 B by default).
+    pub line_bytes: u32,
+    /// Number of fg-tag bits (8 in the paper).
+    pub fg_tag_bits: u32,
+    /// Replacement policy among same-tag lines / victim lines.
+    pub policy: ReplacementPolicy,
+}
+
+impl Default for PiccoloCacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 4 << 20,
+            ways: 8,
+            line_bytes: 128,
+            fg_tag_bits: 8,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+}
+
+/// The Piccolo-cache model.
+#[derive(Debug, Clone)]
+pub struct PiccoloCache {
+    cfg: PiccoloCacheConfig,
+    sets: u64,
+    sectors_per_line: u32,
+    lines: Vec<Line>,
+    lru_clock: u64,
+    /// Ways each tag may occupy in a set (equal way partitioning over the tags of the
+    /// current tile); `ways` when tiling information is absent.
+    allocated_ways_per_tag: u32,
+    stats: CacheStats,
+}
+
+impl PiccoloCache {
+    /// Creates a Piccolo-cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero ways, line smaller than a sector).
+    pub fn new(cfg: PiccoloCacheConfig) -> Self {
+        assert!(cfg.ways > 0, "ways must be positive");
+        assert!(
+            cfg.line_bytes as u64 >= SECTOR_BYTES && cfg.line_bytes % 8 == 0,
+            "line must be a multiple of 8 B"
+        );
+        let sets = (cfg.capacity_bytes / (cfg.line_bytes as u64 * cfg.ways as u64)).max(1);
+        let sectors_per_line = cfg.line_bytes / SECTOR_BYTES as u32;
+        Self {
+            cfg,
+            sets,
+            sectors_per_line,
+            lines: vec![Line::empty(sectors_per_line as usize); (sets * cfg.ways as u64) as usize],
+            lru_clock: 0,
+            allocated_ways_per_tag: cfg.ways,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a Piccolo-cache with the given capacity, 8 ways, LRU, 128 B lines.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self::new(PiccoloCacheConfig {
+            capacity_bytes,
+            ..Default::default()
+        })
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// The address fields `(tag, fg_tag, set, fg_offset)` of an 8 B-aligned address.
+    fn fields(&self, addr: u64) -> (u64, u16, u64, usize) {
+        let word = addr / SECTOR_BYTES;
+        let fg_offset = (word % self.sectors_per_line as u64) as usize;
+        let rest = word / self.sectors_per_line as u64;
+        let set = rest % self.sets;
+        let rest = rest / self.sets;
+        let fg_mask = (1u64 << self.cfg.fg_tag_bits) - 1;
+        let fg_tag = (rest & fg_mask) as u16;
+        let tag = rest >> self.cfg.fg_tag_bits;
+        (tag, fg_tag, set, fg_offset)
+    }
+
+    /// Reconstructs the byte address of a sector from its stored coordinates.
+    fn sector_addr(&self, tag: u64, fg_tag: u16, set: u64, fg_offset: usize) -> u64 {
+        let rest = (tag << self.cfg.fg_tag_bits) | fg_tag as u64;
+        let word = (rest * self.sets + set) * self.sectors_per_line as u64 + fg_offset as u64;
+        word * SECTOR_BYTES
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.lru_clock += 1;
+        self.lines[idx].lru = self.lru_clock;
+        self.lines[idx].rrpv = 0;
+    }
+}
+
+impl SectorCache for PiccoloCache {
+    fn access(&mut self, addr: u64, bytes: u32, write: bool) -> AccessResult {
+        self.stats.accesses += 1;
+        let (tag, fg_tag, set, fg_offset) = self.fields(addr);
+        let requested = bytes.min(SECTOR_BYTES as u32);
+        let start = (set * self.cfg.ways as u64) as usize;
+        let ways = self.cfg.ways as usize;
+
+        // Sequential search of the ways for matching tags (Section V-A).
+        let mut same_tag_ways: Vec<usize> = Vec::with_capacity(ways);
+        let mut invalid_way: Option<usize> = None;
+        for w in 0..ways {
+            let line = &self.lines[start + w];
+            if line.valid && line.tag == tag {
+                same_tag_ways.push(start + w);
+            } else if !line.valid && invalid_way.is_none() {
+                invalid_way = Some(start + w);
+            }
+        }
+
+        // Hit: a same-tag line whose sector holds our fg-tag.
+        for &idx in &same_tag_ways {
+            let line = &self.lines[idx];
+            if line.sector_valid[fg_offset] && line.sector_fgtag[fg_offset] == fg_tag {
+                self.touch(idx);
+                self.lines[idx].sector_dirty[fg_offset] |= write;
+                self.stats.hits += 1;
+                return AccessResult::hit();
+            }
+        }
+
+        self.stats.misses += 1;
+        let mut actions = Vec::with_capacity(2);
+
+        // Decide between installing a new line (way partitioning allows it) or replacing
+        // a sector inside an existing same-tag line.
+        let may_take_new_way = (same_tag_ways.len() as u32) < self.allocated_ways_per_tag;
+        let install_idx = if may_take_new_way {
+            if let Some(idx) = invalid_way {
+                Some(idx)
+            } else {
+                // Evict a whole line belonging to another tag, chosen by LRU/RRIP.
+                let victim = (0..ways)
+                    .map(|w| start + w)
+                    .filter(|&i| !same_tag_ways.contains(&i))
+                    .min_by_key(|&i| match self.cfg.policy {
+                        ReplacementPolicy::Lru => self.lines[i].lru,
+                        ReplacementPolicy::Rrip => {
+                            // Higher RRPV = evict first; fall back to LRU order.
+                            (u64::from(3 - self.lines[i].rrpv) << 60) | self.lines[i].lru
+                        }
+                    });
+                victim
+            }
+        } else {
+            None
+        };
+
+        let idx = match install_idx {
+            Some(idx) => {
+                // Whole-line eviction (write back every dirty sector).
+                let line = &self.lines[idx];
+                if line.valid {
+                    let (vtag, vset) = (line.tag, set);
+                    for s in 0..self.sectors_per_line as usize {
+                        if line.sector_valid[s] && line.sector_dirty[s] {
+                            let a = self.sector_addr(vtag, line.sector_fgtag[s], vset, s);
+                            actions.push(MissAction::Writeback {
+                                addr: a,
+                                bytes: SECTOR_BYTES as u32,
+                            });
+                            self.stats.writeback_bytes += SECTOR_BYTES;
+                        }
+                    }
+                    self.stats.line_evictions += 1;
+                }
+                let line = &mut self.lines[idx];
+                *line = Line::empty(self.sectors_per_line as usize);
+                line.valid = true;
+                line.tag = tag;
+                idx
+            }
+            None => {
+                // Sector replacement among the same-tag lines (Fig. 6 right): prefer a
+                // line whose target sector slot is still invalid (no data lost), otherwise
+                // the LRU/RRIP line, whose sector is evicted.
+                let idx = same_tag_ways
+                    .iter()
+                    .copied()
+                    .find(|&i| !self.lines[i].sector_valid[fg_offset])
+                    .unwrap_or_else(|| {
+                        *same_tag_ways
+                            .iter()
+                            .min_by_key(|&&i| match self.cfg.policy {
+                                ReplacementPolicy::Lru => self.lines[i].lru,
+                                ReplacementPolicy::Rrip => {
+                                    (u64::from(3 - self.lines[i].rrpv) << 60) | self.lines[i].lru
+                                }
+                            })
+                            .expect("at least one same-tag line when partition is full")
+                    });
+                let line = &self.lines[idx];
+                if line.sector_valid[fg_offset] && line.sector_dirty[fg_offset] {
+                    let a = self.sector_addr(line.tag, line.sector_fgtag[fg_offset], set, fg_offset);
+                    actions.push(MissAction::Writeback {
+                        addr: a,
+                        bytes: SECTOR_BYTES as u32,
+                    });
+                    self.stats.writeback_bytes += SECTOR_BYTES;
+                }
+                if line.sector_valid[fg_offset] {
+                    self.stats.sector_evictions += 1;
+                }
+                idx
+            }
+        };
+
+        // Install the new sector.
+        let line = &mut self.lines[idx];
+        line.sector_valid[fg_offset] = true;
+        line.sector_dirty[fg_offset] = write;
+        line.sector_fgtag[fg_offset] = fg_tag;
+        self.touch(idx);
+        self.stats.fill_bytes += SECTOR_BYTES;
+        actions.push(MissAction::Fill {
+            addr: addr & !(SECTOR_BYTES - 1),
+            bytes: SECTOR_BYTES as u32,
+            useful: requested,
+        });
+
+        AccessResult {
+            hit: false,
+            actions,
+        }
+    }
+
+    fn flush(&mut self) -> Vec<MissAction> {
+        let mut actions = Vec::new();
+        for set in 0..self.sets {
+            for w in 0..self.cfg.ways as u64 {
+                let idx = (set * self.cfg.ways as u64 + w) as usize;
+                let sectors = self.sectors_per_line as usize;
+                for s in 0..sectors {
+                    let line = &self.lines[idx];
+                    if line.valid && line.sector_valid[s] && line.sector_dirty[s] {
+                        let a = self.sector_addr(line.tag, line.sector_fgtag[s], set, s);
+                        actions.push(MissAction::Writeback {
+                            addr: a,
+                            bytes: SECTOR_BYTES as u32,
+                        });
+                        self.stats.writeback_bytes += SECTOR_BYTES;
+                    }
+                }
+                self.lines[idx] = Line::empty(self.sectors_per_line as usize);
+            }
+        }
+        actions
+    }
+
+    fn begin_tile(&mut self, distinct_tags: u32) {
+        // Equal way partitioning over the tags of the tile (Section V-B).
+        self.allocated_ways_per_tag = (self.cfg.ways / distinct_tags.max(1)).max(1);
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.policy {
+            ReplacementPolicy::Lru => "Piccolo (LRU)",
+            ReplacementPolicy::Rrip => "Piccolo (RRIP)",
+        }
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.sets * self.cfg.ways as u64 * self.cfg.line_bytes as u64
+    }
+
+    fn tag_coverage_bytes(&self) -> u64 {
+        // Addresses sharing one line tag span fg-tag x set x fg-offset x 8 B
+        // (32 KiB for the paper's 4 MiB geometry).
+        (1u64 << self.cfg.fg_tag_bits) * self.sets * self.sectors_per_line as u64 * SECTOR_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PiccoloCache {
+        PiccoloCache::new(PiccoloCacheConfig {
+            capacity_bytes: 4096,
+            ways: 4,
+            line_bytes: 128,
+            fg_tag_bits: 8,
+            policy: ReplacementPolicy::Lru,
+        })
+    }
+
+    #[test]
+    fn address_field_roundtrip() {
+        let c = small();
+        for addr in [0u64, 8, 4096, 123456 & !7, (1 << 30) + 8 * 77] {
+            let (tag, fg, set, off) = c.fields(addr);
+            assert_eq!(c.sector_addr(tag, fg, set, off), addr & !7);
+        }
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small();
+        assert!(!c.access(64, 8, false).hit);
+        assert!(c.access(64, 8, false).hit);
+        assert!(c.access(64, 8, true).hit);
+    }
+
+    #[test]
+    fn fills_are_sector_sized() {
+        let mut c = small();
+        let r = c.access(1 << 20, 8, false);
+        assert!(matches!(
+            r.actions.last().unwrap(),
+            MissAction::Fill { bytes: 8, useful: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn same_tag_different_fgtag_evicts_sector_not_line() {
+        let mut c = small();
+        // Two addresses with the same (tag, set, fg-offset) but different fg-tags: the
+        // fg-tag stride is sets * sectors_per_line * 8 bytes.
+        let stride = c.sets() * 16 * 8;
+        c.access(0, 8, true);
+        c.begin_tile(4); // one way per tag -> forces sector replacement for same tag
+        // Fill the allowed way, then force an fg-tag conflict.
+        let r = c.access(stride, 8, false);
+        assert!(!r.hit);
+        // Second access to the first address misses again (its sector was replaced) but
+        // the line itself was reused, not evicted.
+        assert_eq!(c.stats().line_evictions, 0);
+        assert!(c.stats().sector_evictions >= 1);
+        // The dirty evicted sector produced a writeback.
+        assert!(r.actions.iter().any(|a| matches!(a, MissAction::Writeback { addr: 0, bytes: 8 })));
+    }
+
+    #[test]
+    fn different_tags_can_coexist_across_ways() {
+        let mut c = small();
+        c.begin_tile(2);
+        // Two different tags map to the same set; with 4 ways and 2 tags each may hold 2.
+        let tag_stride = c.sets() * 16 * 8 * 256; // beyond the fg-tag range -> new tag
+        c.access(0, 8, false);
+        c.access(tag_stride, 8, false);
+        assert!(c.access(0, 8, false).hit);
+        assert!(c.access(tag_stride, 8, false).hit);
+    }
+
+    #[test]
+    fn way_partitioning_limits_ways_per_tag() {
+        let mut c = small();
+        c.begin_tile(4);
+        assert_eq!(c.allocated_ways_per_tag, 1);
+        c.begin_tile(1);
+        assert_eq!(c.allocated_ways_per_tag, 4);
+        c.begin_tile(100);
+        assert_eq!(c.allocated_ways_per_tag, 1);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_sectors() {
+        let mut c = small();
+        c.access(8, 8, true);
+        c.access(80, 8, false);
+        let wb = c.flush();
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].addr(), 8);
+        assert!(!c.access(8, 8, false).hit);
+    }
+
+    #[test]
+    fn rrip_variant_works() {
+        let mut c = PiccoloCache::new(PiccoloCacheConfig {
+            capacity_bytes: 2048,
+            ways: 2,
+            policy: ReplacementPolicy::Rrip,
+            ..Default::default()
+        });
+        assert_eq!(c.name(), "Piccolo (RRIP)");
+        for i in 0..64 {
+            c.access(i * 8, 8, i % 2 == 0);
+        }
+        assert!(c.stats().accesses == 64);
+    }
+
+    #[test]
+    fn behaves_like_8b_cache_for_dense_working_set_within_capacity() {
+        // A dense working set smaller than capacity should be fully held after a warm-up
+        // pass, like the ideal 8B-line cache.
+        let mut c = PiccoloCache::with_capacity(64 * 1024);
+        let words = 4096u64; // 32 KiB of 8 B words
+        for i in 0..words {
+            c.access(i * 8, 8, false);
+        }
+        let misses_before = c.stats().misses;
+        for i in 0..words {
+            c.access(i * 8, 8, false);
+        }
+        let misses_after = c.stats().misses;
+        assert_eq!(misses_before, words, "first pass all cold misses");
+        assert_eq!(misses_after, misses_before, "second pass must be all hits");
+    }
+}

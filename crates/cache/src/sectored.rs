@@ -1,0 +1,273 @@
+//! Sectored cache (Liptay-style), one of the alternatives Piccolo-cache is compared
+//! against in Fig. 5/6/11.
+//!
+//! A sectored cache keeps one address tag per (64 B) line but validity/dirtiness per 8 B
+//! sector, so it can fetch at sector granularity. Its weakness — the reason it loses to
+//! Piccolo-cache — is that a *new tag* still allocates an entire line even if only one
+//! sector will ever be used, wasting capacity on sparse random accesses (Section V-B).
+
+use crate::stats::CacheStats;
+use crate::traits::{AccessResult, MissAction, SectorCache};
+
+const SECTOR_BYTES: u32 = 8;
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+    sector_valid: Vec<bool>,
+    sector_dirty: Vec<bool>,
+}
+
+impl Line {
+    fn empty(sectors: usize) -> Self {
+        Self {
+            valid: false,
+            tag: 0,
+            lru: 0,
+            sector_valid: vec![false; sectors],
+            sector_dirty: vec![false; sectors],
+        }
+    }
+}
+
+/// Sectored cache: per-line tag, per-sector valid/dirty.
+#[derive(Debug, Clone)]
+pub struct SectoredCache {
+    line_bytes: u32,
+    sectors_per_line: u32,
+    ways: u32,
+    sets: u64,
+    lines: Vec<Line>,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl SectoredCache {
+    /// Creates a sectored cache with 64 B lines of 8 B sectors.
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        Self::with_line_size(capacity_bytes, 64, ways)
+    }
+
+    /// Creates a sectored cache with an explicit line size (must be a multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a positive multiple of 8 or `ways == 0`.
+    pub fn with_line_size(capacity_bytes: u64, line_bytes: u32, ways: u32) -> Self {
+        assert!(line_bytes >= 8 && line_bytes % 8 == 0, "line must be a multiple of 8 B");
+        assert!(ways > 0, "ways must be positive");
+        let sets = (capacity_bytes / (line_bytes as u64 * ways as u64)).max(1);
+        let sectors_per_line = line_bytes / SECTOR_BYTES;
+        Self {
+            line_bytes,
+            sectors_per_line,
+            ways,
+            sets,
+            lines: vec![Line::empty(sectors_per_line as usize); (sets * ways as u64) as usize],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64
+    }
+
+    fn sector_of(&self, addr: u64) -> usize {
+        ((addr % self.line_bytes as u64) / SECTOR_BYTES as u64) as usize
+    }
+
+    fn evict_line(
+        line: &mut Line,
+        line_base_addr: u64,
+        stats: &mut CacheStats,
+        actions: &mut Vec<MissAction>,
+    ) {
+        for (i, (&valid, &dirty)) in line
+            .sector_valid
+            .iter()
+            .zip(line.sector_dirty.iter())
+            .enumerate()
+        {
+            if valid && dirty {
+                actions.push(MissAction::Writeback {
+                    addr: line_base_addr + (i as u64) * SECTOR_BYTES as u64,
+                    bytes: SECTOR_BYTES,
+                });
+                stats.writeback_bytes += SECTOR_BYTES as u64;
+            }
+        }
+        stats.line_evictions += 1;
+    }
+}
+
+impl SectorCache for SectoredCache {
+    fn access(&mut self, addr: u64, bytes: u32, write: bool) -> AccessResult {
+        self.stats.accesses += 1;
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let line_addr = self.line_addr(addr);
+        let set = line_addr % self.sets;
+        let tag = line_addr / self.sets;
+        let sector = self.sector_of(addr);
+        let sets = self.sets;
+        let line_bytes = self.line_bytes as u64;
+        let requested = bytes.min(SECTOR_BYTES);
+
+        let start = (set * self.ways as u64) as usize;
+        let ways = self.ways as usize;
+        let set_lines = &mut self.lines[start..start + ways];
+
+        // Tag match?
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            if line.sector_valid[sector] {
+                line.sector_dirty[sector] |= write;
+                self.stats.hits += 1;
+                return AccessResult::hit();
+            }
+            // Sector miss within a present line: fetch just the sector.
+            self.stats.misses += 1;
+            line.sector_valid[sector] = true;
+            line.sector_dirty[sector] = write;
+            self.stats.fill_bytes += SECTOR_BYTES as u64;
+            return AccessResult {
+                hit: false,
+                actions: vec![MissAction::Fill {
+                    addr: addr & !(SECTOR_BYTES as u64 - 1),
+                    bytes: SECTOR_BYTES,
+                    useful: requested,
+                }],
+            };
+        }
+
+        // Line miss: allocate a whole line for this single sector (the sectored cache's
+        // fundamental inefficiency).
+        self.stats.misses += 1;
+        let victim_idx = set_lines
+            .iter()
+            .enumerate()
+            .find(|(_, l)| !l.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set_lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("at least one way")
+            });
+        let mut actions = Vec::new();
+        let victim = &mut set_lines[victim_idx];
+        if victim.valid {
+            let base = (victim.tag * sets + set) * line_bytes;
+            Self::evict_line(victim, base, &mut self.stats, &mut actions);
+        }
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = clock;
+        victim.sector_valid.iter_mut().for_each(|v| *v = false);
+        victim.sector_dirty.iter_mut().for_each(|v| *v = false);
+        victim.sector_valid[sector] = true;
+        victim.sector_dirty[sector] = write;
+        self.stats.fill_bytes += SECTOR_BYTES as u64;
+        actions.push(MissAction::Fill {
+            addr: addr & !(SECTOR_BYTES as u64 - 1),
+            bytes: SECTOR_BYTES,
+            useful: requested,
+        });
+        AccessResult {
+            hit: false,
+            actions,
+        }
+    }
+
+    fn flush(&mut self) -> Vec<MissAction> {
+        let mut actions = Vec::new();
+        let sets = self.sets;
+        let line_bytes = self.line_bytes as u64;
+        let ways = self.ways as u64;
+        for set in 0..sets {
+            for way in 0..ways {
+                let idx = (set * ways + way) as usize;
+                let line = &mut self.lines[idx];
+                if line.valid {
+                    let base = (line.tag * sets + set) * line_bytes;
+                    for (i, (&v, &d)) in line
+                        .sector_valid
+                        .iter()
+                        .zip(line.sector_dirty.iter())
+                        .enumerate()
+                    {
+                        if v && d {
+                            actions.push(MissAction::Writeback {
+                                addr: base + i as u64 * SECTOR_BYTES as u64,
+                                bytes: SECTOR_BYTES,
+                            });
+                            self.stats.writeback_bytes += SECTOR_BYTES as u64;
+                        }
+                    }
+                }
+                *line = Line::empty(self.sectors_per_line as usize);
+            }
+        }
+        actions
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "Sectored"
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.sets * self.ways as u64 * self.line_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_fills_are_fine_grained() {
+        let mut c = SectoredCache::new(1024, 4);
+        let r = c.access(0, 8, false);
+        assert!(!r.hit);
+        assert!(matches!(r.actions[0], MissAction::Fill { bytes: 8, .. }));
+        // A different sector of the same line: still a miss, but no line eviction.
+        let r2 = c.access(8, 8, false);
+        assert!(!r2.hit);
+        assert_eq!(c.stats().line_evictions, 0);
+        // Now both sectors hit.
+        assert!(c.access(0, 8, false).hit);
+        assert!(c.access(8, 8, false).hit);
+    }
+
+    #[test]
+    fn new_tag_evicts_entire_line() {
+        // 1 set, 1 way of 64 B: two different line tags collide.
+        let mut c = SectoredCache::with_line_size(64, 64, 1);
+        c.access(0, 8, true);
+        c.access(8, 8, true);
+        let r = c.access(64, 8, false);
+        assert!(!r.hit);
+        // Both dirty sectors of the evicted line are written back.
+        let wbs = r.actions.iter().filter(|a| !a.is_fill()).count();
+        assert_eq!(wbs, 2);
+        assert_eq!(c.stats().line_evictions, 1);
+    }
+
+    #[test]
+    fn flush_invalidates_and_writes_back() {
+        let mut c = SectoredCache::new(512, 2);
+        c.access(16, 8, true);
+        let wb = c.flush();
+        assert_eq!(wb.len(), 1);
+        assert!(!c.access(16, 8, false).hit);
+    }
+}

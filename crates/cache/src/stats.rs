@@ -1,0 +1,70 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by every cache model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit on chip.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Whole cache lines evicted.
+    pub line_evictions: u64,
+    /// Individual sectors evicted (fine-grained designs only).
+    pub sector_evictions: u64,
+    /// Dirty bytes written back to memory.
+    pub writeback_bytes: u64,
+    /// Bytes fetched from memory by fills.
+    pub fill_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.line_evictions += other.line_evictions;
+        self.sector_evictions += other.sector_evictions;
+        self.writeback_bytes += other.writeback_bytes;
+        self.fill_bytes += other.fill_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_merge() {
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        assert!((a.hit_rate() - 0.7).abs() < 1e-12);
+        let b = CacheStats {
+            accesses: 10,
+            hits: 3,
+            misses: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 20);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The interface every on-chip vertex-cache model implements.
+//!
+//! Caches operate on fine-grained accesses (typically 8 B vertex properties). They do not
+//! talk to DRAM directly: a miss produces [`MissAction`]s (fills and writebacks) that the
+//! accelerator's memory path translates into conventional 64 B bursts, or — for Piccolo
+//! and NMP — feeds into the collection-extended MSHR to become in-memory scatter/gather
+//! operations. This split mirrors Fig. 7 of the paper and lets Fig. 11 evaluate every
+//! cache design "on top of Piccolo-FIM".
+
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// What a cache needs from the memory system after an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissAction {
+    /// Bring `bytes` at `addr` on chip; only `useful` of them were actually requested by
+    /// the program (the rest is over-fetch, counted as "unuseful" in Fig. 3).
+    Fill {
+        /// Byte address of the fill (aligned to the fill granularity).
+        addr: u64,
+        /// Total bytes to fetch.
+        bytes: u32,
+        /// Bytes of the fetch the program asked for.
+        useful: u32,
+    },
+    /// Write `bytes` of dirty data at `addr` back to memory.
+    Writeback {
+        /// Byte address of the writeback.
+        addr: u64,
+        /// Bytes to write back.
+        bytes: u32,
+    },
+}
+
+impl MissAction {
+    /// Returns the address of the action.
+    pub fn addr(&self) -> u64 {
+        match self {
+            MissAction::Fill { addr, .. } | MissAction::Writeback { addr, .. } => *addr,
+        }
+    }
+
+    /// Returns `true` for fills.
+    pub fn is_fill(&self) -> bool {
+        matches!(self, MissAction::Fill { .. })
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the requested bytes were already on chip.
+    pub hit: bool,
+    /// Fills/writebacks the memory path must perform.
+    pub actions: Vec<MissAction>,
+}
+
+impl AccessResult {
+    /// A plain hit with no memory actions.
+    pub fn hit() -> Self {
+        Self {
+            hit: true,
+            actions: Vec::new(),
+        }
+    }
+}
+
+/// Replacement policies evaluated for Piccolo-cache (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Least recently used.
+    Lru,
+    /// Re-reference interval prediction (2-bit RRPV).
+    Rrip,
+}
+
+/// The interface shared by every cache model in this crate.
+pub trait SectorCache {
+    /// Accesses `bytes` bytes at `addr`. `write == true` marks the data dirty.
+    fn access(&mut self, addr: u64, bytes: u32, write: bool) -> AccessResult;
+
+    /// Writes back all dirty data and invalidates the cache (used between tiles or at the
+    /// end of a run).
+    fn flush(&mut self) -> Vec<MissAction>;
+
+    /// Informs the cache that a new tile begins, with `distinct_tags` distinct cache-line
+    /// tags covering the tile's destination range (Piccolo-cache uses this for way
+    /// partitioning; other designs ignore it).
+    fn begin_tile(&mut self, distinct_tags: u32) {
+        let _ = distinct_tags;
+    }
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Human-readable design name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Total data capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Bytes of address space covered by one line tag (relevant to way partitioning:
+    /// a tile spanning `N x tag_coverage_bytes()` contains `N` distinct tags). Designs
+    /// without a split tag return `u64::MAX` so a tile always maps to one "tag".
+    fn tag_coverage_bytes(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_action_accessors() {
+        let f = MissAction::Fill {
+            addr: 64,
+            bytes: 64,
+            useful: 8,
+        };
+        assert!(f.is_fill());
+        assert_eq!(f.addr(), 64);
+        let w = MissAction::Writeback { addr: 8, bytes: 8 };
+        assert!(!w.is_fill());
+        assert_eq!(w.addr(), 8);
+        assert!(AccessResult::hit().hit);
+    }
+}

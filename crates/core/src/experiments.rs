@@ -1,0 +1,579 @@
+//! Experiment drivers reproducing every table and figure of the paper's evaluation.
+//!
+//! Each function runs the corresponding experiment at a configurable [`Scale`] and returns
+//! printable rows; the `piccolo-bench` crate exposes them as binaries (one per figure) and
+//! as Criterion benchmarks. `EXPERIMENTS.md` records the expected shapes and the values
+//! measured with the default scale.
+
+use crate::olap::{self, OlapQuery};
+use crate::report::SimReport;
+use piccolo_accel::{
+    simulate, simulate_edge_centric, CacheKind, RunResult, SimConfig, SystemKind, TilingPolicy,
+};
+use piccolo_algo::{Algorithm, Bfs, ConnectedComponents, PageRank, Sssp, Sswp, VertexProgram};
+use piccolo_dram::{DramConfig, MemoryKind};
+use piccolo_graph::{Csr, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Right shift applied to the paper's dataset sizes (and to the on-chip structures).
+    pub scale_shift: u32,
+    /// RNG seed for the synthetic stand-ins.
+    pub seed: u64,
+    /// Iteration cap per run.
+    pub max_iterations: u32,
+}
+
+impl Scale {
+    /// A quick scale suitable for CI and Criterion benches (seconds per figure).
+    pub fn quick() -> Self {
+        Self {
+            scale_shift: 13,
+            seed: 7,
+            max_iterations: 3,
+        }
+    }
+
+    /// The default reproduction scale (datasets shrunk 4096x, a few minutes per figure).
+    pub fn default_repro() -> Self {
+        Self {
+            scale_shift: 12,
+            seed: 7,
+            max_iterations: 5,
+        }
+    }
+}
+
+/// One measured data point: a label (matching the paper's x-axis) and a value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Row label, e.g. "PR/TW/Piccolo".
+    pub label: String,
+    /// Value (speedup, cycles, GB/s, normalized energy ... depending on the figure).
+    pub value: f64,
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:<40} {:>12.4}", self.label, self.value)
+    }
+}
+
+fn run_algorithm(graph: &Csr, alg: Algorithm, cfg: &SimConfig) -> RunResult {
+    match alg {
+        Algorithm::PageRank => simulate(graph, &PageRank::default(), cfg),
+        Algorithm::Bfs => simulate(graph, &Bfs::new(0), cfg),
+        Algorithm::ConnectedComponents => simulate(graph, &ConnectedComponents::new(), cfg),
+        Algorithm::Sssp => simulate(graph, &Sssp::new(0), cfg),
+        Algorithm::Sswp => simulate(graph, &Sswp::new(0), cfg),
+    }
+}
+
+fn run_algorithm_ec<P: VertexProgram>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult {
+    simulate_edge_centric(graph, program, cfg)
+}
+
+fn config(system: SystemKind, scale: Scale) -> SimConfig {
+    SimConfig::for_system(system, scale.scale_shift).with_max_iterations(scale.max_iterations)
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Fig. 3 — motivational experiment: useful vs unuseful off-chip traffic and RD/WR
+/// transactions for BFS on the baseline, without tiling and with perfect tiling.
+pub fn fig03(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for d in datasets {
+        let g = d.build(scale.scale_shift, scale.seed);
+        for (mode, tiling) in [("Non-Tiling", TilingPolicy::None), ("Perfect", TilingPolicy::Perfect)] {
+            let cfg = config(SystemKind::GraphDynsCache, scale)
+                .with_tiling(tiling)
+                .with_max_iterations(40);
+            let r = run_algorithm(&g, Algorithm::Bfs, &cfg);
+            out.push(Point {
+                label: format!("BFS/{}/{mode}/useful%", d.short_name()),
+                value: 100.0 * r.mem_stats.useful_fraction(),
+            });
+            out.push(Point {
+                label: format!("BFS/{}/{mode}/read_tx", d.short_name()),
+                value: r.mem_stats.read_transactions as f64,
+            });
+            out.push(Point {
+                label: format!("BFS/{}/{mode}/write_tx", d.short_name()),
+                value: r.mem_stats.write_transactions as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 9 — strided-read microbenchmark on the DRAM model (single-row vs multi-row).
+pub fn fig09() -> Vec<Point> {
+    use piccolo_dram::{AddressMapper, MemRequest, MemorySystem, Region};
+    let mut out = Vec::new();
+    for (case, span) in [("single-row", 1u64), ("multi-row", 64)] {
+        for stride in [4u64, 8, 16, 32] {
+            let cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4);
+            let mapper = AddressMapper::new(&cfg);
+            let items = 16 * 1024 * 1024 / (stride * 8) / 64; // scaled-down 16 MB / 64
+            let addr_of = |i: u64| i * stride * 8 * span.max(1);
+            let mut conv = MemorySystem::new(cfg);
+            let t_conv = conv
+                .service_batch((0..items).map(|i| MemRequest::Read {
+                    addr: addr_of(i),
+                    useful_bytes: 8,
+                    region: Region::Other,
+                }))
+                .elapsed_clocks();
+            let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
+            let mut fim = MemorySystem::new(fim_cfg);
+            let mut by_row: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+            let mut order = Vec::new();
+            for i in 0..items {
+                let a = addr_of(i);
+                let loc = mapper.decompose(a);
+                let row = mapper.row_id_of(&loc);
+                by_row
+                    .entry(row)
+                    .or_insert_with(|| {
+                        order.push(row);
+                        Vec::new()
+                    })
+                    .push(loc.word_offset());
+            }
+            let mut reqs = Vec::new();
+            for row in order {
+                for chunk in by_row[&row].chunks(8) {
+                    reqs.push(MemRequest::GatherFim {
+                        row,
+                        offsets: chunk.to_vec(),
+                        region: Region::Other,
+                    });
+                }
+            }
+            let t_fim = fim.service_batch(reqs).elapsed_clocks();
+            out.push(Point {
+                label: format!("{case}/stride{stride}/speedup"),
+                value: t_conv as f64 / t_fim.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 10 — overall speedup of every system over GraphDyns (Cache), per algorithm and
+/// dataset, plus the geometric mean.
+pub fn fig10(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    let mut per_system_speedups: std::collections::HashMap<&'static str, Vec<f64>> =
+        std::collections::HashMap::new();
+    for alg in algorithms {
+        for d in datasets {
+            let g = d.build(scale.scale_shift, scale.seed);
+            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
+            for system in SystemKind::ALL {
+                let r = if system == SystemKind::GraphDynsCache {
+                    base.clone()
+                } else {
+                    run_algorithm(&g, *alg, &config(system, scale))
+                };
+                let speedup = base.accel_cycles as f64 / r.accel_cycles.max(1) as f64;
+                per_system_speedups
+                    .entry(system.name())
+                    .or_default()
+                    .push(speedup);
+                out.push(Point {
+                    label: format!("{}/{}/{}", alg.short_name(), d.short_name(), system.name()),
+                    value: speedup,
+                });
+            }
+        }
+    }
+    for system in SystemKind::ALL {
+        out.push(Point {
+            label: format!("GM/{}", system.name()),
+            value: geomean(&per_system_speedups[system.name()]),
+        });
+    }
+    out
+}
+
+/// Fig. 11 — fine-grained cache designs on top of Piccolo-FIM, normalized to the
+/// conventional-cache baseline.
+pub fn fig11(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for alg in algorithms {
+        for d in datasets {
+            let g = d.build(scale.scale_shift, scale.seed);
+            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
+            for cache in CacheKind::FIG11 {
+                let cfg = config(SystemKind::Piccolo, scale).with_cache(cache);
+                let r = run_algorithm(&g, *alg, &cfg);
+                out.push(Point {
+                    label: format!("{}/{}/{}", alg.short_name(), d.short_name(), cache.name()),
+                    value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 12 — normalized off-chip memory accesses (reads and writes) of Piccolo relative
+/// to the baseline.
+pub fn fig12(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for alg in algorithms {
+        for d in datasets {
+            let g = d.build(scale.scale_shift, scale.seed);
+            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
+            let pic = run_algorithm(&g, *alg, &config(SystemKind::Piccolo, scale));
+            let total_base = base.mem_stats.total_transactions().max(1) as f64;
+            out.push(Point {
+                label: format!("{}/{}/read", alg.short_name(), d.short_name()),
+                value: pic.mem_stats.read_transactions as f64 / total_base,
+            });
+            out.push(Point {
+                label: format!("{}/{}/write", alg.short_name(), d.short_name()),
+                value: pic.mem_stats.write_transactions as f64 / total_base,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 13 — off-chip and DRAM-internal bandwidth of the baseline, PIM and Piccolo.
+pub fn fig13(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for alg in algorithms {
+        for d in datasets {
+            let g = d.build(scale.scale_shift, scale.seed);
+            for system in [SystemKind::GraphDynsCache, SystemKind::Pim, SystemKind::Piccolo] {
+                let r = run_algorithm(&g, *alg, &config(system, scale));
+                out.push(Point {
+                    label: format!("{}/{}/{}/offchip GB-s", alg.short_name(), d.short_name(), system.name()),
+                    value: r.offchip_bandwidth_gbps(),
+                });
+                if system != SystemKind::GraphDynsCache {
+                    out.push(Point {
+                        label: format!("{}/{}/{}/internal GB-s", alg.short_name(), d.short_name(), system.name()),
+                        value: r.internal_bandwidth_gbps(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 14 — normalized energy breakdown of Piccolo relative to the baseline.
+pub fn fig14(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for alg in algorithms {
+        for d in datasets {
+            let g = d.build(scale.scale_shift, scale.seed);
+            let base_cfg = config(SystemKind::GraphDynsCache, scale);
+            let pic_cfg = config(SystemKind::Piccolo, scale);
+            let base = SimReport::from_run(run_algorithm(&g, *alg, &base_cfg), &base_cfg.dram);
+            let pic = SimReport::from_run(run_algorithm(&g, *alg, &pic_cfg), &pic_cfg.dram);
+            let denom = base.energy.total_nj().max(1e-9);
+            for (name, b, p) in [
+                ("acc", base.energy.accelerator_nj, pic.energy.accelerator_nj),
+                ("cache", base.energy.cache_nj, pic.energy.cache_nj),
+                ("dram_rd", base.energy.dram_read_nj, pic.energy.dram_read_nj),
+                ("dram_wr", base.energy.dram_write_nj, pic.energy.dram_write_nj),
+                ("dram_io", base.energy.dram_io_nj, pic.energy.dram_io_nj),
+                ("others", base.energy.others_nj, pic.energy.others_nj),
+            ] {
+                out.push(Point {
+                    label: format!("{}/{}/base/{}", alg.short_name(), d.short_name(), name),
+                    value: b / denom,
+                });
+                out.push(Point {
+                    label: format!("{}/{}/piccolo/{}", alg.short_name(), d.short_name(), name),
+                    value: p / denom,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 15 — memory-type sensitivity (cycles, baseline vs Piccolo) on one dataset.
+pub fn fig15(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    let g = dataset.build(scale.scale_shift, scale.seed);
+    for alg in algorithms {
+        for kind in MemoryKind::ALL {
+            for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
+                let mut dram = DramConfig::new(kind, 2, 4).with_row_bytes(1024);
+                if system == SystemKind::Piccolo {
+                    dram = dram.with_fim();
+                }
+                let cfg = config(system, scale).with_dram(dram);
+                let r = run_algorithm(&g, *alg, &cfg);
+                out.push(Point {
+                    label: format!("{}/{}/{}/cycles", alg.short_name(), kind.name(), system.name()),
+                    value: r.accel_cycles as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 16 — channel/rank sensitivity (cycles) on one dataset.
+pub fn fig16(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    let g = dataset.build(scale.scale_shift, scale.seed);
+    for alg in algorithms {
+        for channels in [1u32, 2] {
+            for ranks in [1u32, 2, 4] {
+                for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
+                    let mut dram =
+                        DramConfig::new(MemoryKind::Ddr4X16, channels, ranks).with_row_bytes(1024);
+                    if system == SystemKind::Piccolo {
+                        dram = dram.with_fim();
+                    }
+                    let cfg = config(system, scale).with_dram(dram);
+                    let r = run_algorithm(&g, *alg, &cfg);
+                    out.push(Point {
+                        label: format!(
+                            "{}/ch{}ra{}/{}/cycles",
+                            alg.short_name(),
+                            channels,
+                            ranks,
+                            system.name()
+                        ),
+                        value: r.accel_cycles as f64,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 17 — tile-size sensitivity (normalized cycles vs scaling factor) on one dataset.
+pub fn fig17(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    let g = dataset.build(scale.scale_shift, scale.seed);
+    for alg in algorithms {
+        let base_ref = run_algorithm(
+            &g,
+            *alg,
+            &config(SystemKind::GraphDynsCache, scale).with_tiling(TilingPolicy::Perfect),
+        );
+        for factor in [1u32, 2, 4, 8, 16] {
+            for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
+                let cfg = config(system, scale).with_tiling(TilingPolicy::Scaled(factor));
+                let r = run_algorithm(&g, *alg, &cfg);
+                out.push(Point {
+                    label: format!("{}/x{}/{}/norm-cycles", alg.short_name(), factor, system.name()),
+                    value: r.accel_cycles as f64 / base_ref.accel_cycles.max(1) as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 18 — synthetic-graph speedups (PR) over the baseline for Watts–Strogatz and
+/// Kronecker stand-ins at increasing scales.
+pub fn fig18(scale: Scale) -> Vec<Point> {
+    let mut out = Vec::new();
+    let datasets = [
+        Dataset::WattsStrogatz { scale: 26 },
+        Dataset::WattsStrogatz { scale: 27 },
+        Dataset::Kronecker { scale: 25 },
+        Dataset::Kronecker { scale: 26 },
+        Dataset::Kronecker { scale: 27 },
+        Dataset::Kronecker { scale: 28 },
+    ];
+    for d in datasets {
+        let g = d.build(scale.scale_shift, scale.seed);
+        let base = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::GraphDynsCache, scale));
+        for system in [
+            SystemKind::GraphDynsSpm,
+            SystemKind::GraphDynsCache,
+            SystemKind::Nmp,
+            SystemKind::Pim,
+            SystemKind::Piccolo,
+        ] {
+            let r = if system == SystemKind::GraphDynsCache {
+                base.clone()
+            } else {
+                run_algorithm(&g, Algorithm::PageRank, &config(system, scale))
+            };
+            out.push(Point {
+                label: format!("PR/{}/{}", d.short_name(), system.name()),
+                value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 19a — edge-centric vs vertex-centric, conventional vs Piccolo (PR speedup over
+/// the vertex-centric conventional baseline).
+pub fn fig19a(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for d in datasets {
+        let g = d.build(scale.scale_shift, scale.seed);
+        let pr = PageRank::default();
+        let vc_base = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::GraphDynsCache, scale));
+        let vc_pic = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::Piccolo, scale));
+        let ec_base = run_algorithm_ec(&g, &pr, &config(SystemKind::GraphDynsCache, scale));
+        let ec_pic = run_algorithm_ec(&g, &pr, &config(SystemKind::Piccolo, scale));
+        let denom = vc_base.accel_cycles.max(1) as f64;
+        for (name, r) in [
+            ("VC/Conventional", &vc_base),
+            ("VC/Piccolo", &vc_pic),
+            ("EC/Conventional", &ec_base),
+            ("EC/Piccolo", &ec_pic),
+        ] {
+            out.push(Point {
+                label: format!("PR/{}/{}", d.short_name(), name),
+                value: denom / r.accel_cycles.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 19b — OLAP column-scan speedups (Qa–Qd).
+pub fn fig19b(tuples: u64) -> Vec<Point> {
+    OlapQuery::suite(tuples)
+        .iter()
+        .map(|q| Point {
+            label: format!("OLAP/{}", q.name),
+            value: olap::speedup(q, DramConfig::ddr4_2400_x16()),
+        })
+        .collect()
+}
+
+/// Fig. 20a — enhanced FIM designs on DDR4x4 and HBM (speedup over the baseline).
+pub fn fig20a(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    let mut out = Vec::new();
+    let g = dataset.build(scale.scale_shift, scale.seed);
+    for alg in algorithms {
+        for kind in [MemoryKind::Ddr4X4, MemoryKind::Hbm] {
+            let base_cfg = config(SystemKind::GraphDynsCache, scale)
+                .with_dram(DramConfig::new(kind, 2, 4).with_row_bytes(1024));
+            let base = run_algorithm(&g, *alg, &base_cfg);
+            for (name, enhanced) in [("Piccolo", false), ("Piccolo enhanced", true)] {
+                let mut dram = DramConfig::new(kind, 2, 4).with_row_bytes(1024);
+                dram = if enhanced {
+                    dram.with_enhanced_fim()
+                } else {
+                    dram.with_fim()
+                };
+                let cfg = config(SystemKind::Piccolo, scale).with_dram(dram);
+                let r = run_algorithm(&g, *alg, &cfg);
+                out.push(Point {
+                    label: format!("{}/{}/{}", alg.short_name(), kind.name(), name),
+                    value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 20b — effect of disabling prefetching (normalized performance, PR).
+pub fn fig20b(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for d in datasets {
+        let g = d.build(scale.scale_shift, scale.seed);
+        let with = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::Piccolo, scale));
+        let without = run_algorithm(
+            &g,
+            Algorithm::PageRank,
+            &config(SystemKind::Piccolo, scale).without_prefetch(),
+        );
+        out.push(Point {
+            label: format!("PR/{}/no-prefetch norm-perf", d.short_name()),
+            value: with.accel_cycles as f64 / without.accel_cycles.max(1) as f64,
+        });
+    }
+    out
+}
+
+/// Table II — dataset inventory (paper sizes vs stand-in sizes).
+pub fn table2(scale: Scale) -> Vec<Point> {
+    let mut out = Vec::new();
+    for d in Dataset::REAL_WORLD {
+        let spec = d.spec();
+        let g = d.build(scale.scale_shift, scale.seed);
+        out.push(Point {
+            label: format!("{}/paper-edges", d.short_name()),
+            value: spec.paper_edges as f64,
+        });
+        out.push(Point {
+            label: format!("{}/standin-edges", d.short_name()),
+            value: g.num_edges() as f64,
+        });
+        out.push(Point {
+            label: format!("{}/standin-avg-degree", d.short_name()),
+            value: g.average_degree(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            scale_shift: 15,
+            seed: 3,
+            max_iterations: 2,
+        }
+    }
+
+    #[test]
+    fn fig10_reports_all_systems_and_gm() {
+        let pts = fig10(tiny(), &[Dataset::Sinaweibo], &[Algorithm::Bfs]);
+        assert_eq!(pts.len(), 6 + 6);
+        let gm_piccolo = pts
+            .iter()
+            .find(|p| p.label == "GM/Piccolo")
+            .expect("GM row present");
+        assert!(gm_piccolo.value > 0.5);
+        let base = pts.iter().find(|p| p.label == "GM/GraphDyns (Cache)").unwrap();
+        assert!((base.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig09_single_row_speedup_is_large() {
+        let pts = fig09();
+        let p = pts
+            .iter()
+            .find(|p| p.label == "single-row/stride8/speedup")
+            .unwrap();
+        assert!(p.value > 2.0, "{}", p.value);
+        assert!(!format!("{p}").is_empty());
+    }
+
+    #[test]
+    fn fig19b_olap_speedups_are_positive() {
+        let pts = fig19b(20_000);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.value > 1.0));
+    }
+
+    #[test]
+    fn table2_preserves_relative_sizes() {
+        let pts = table2(tiny());
+        assert_eq!(pts.len(), 15);
+    }
+}

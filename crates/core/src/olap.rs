@@ -1,0 +1,139 @@
+//! OLAP column-scan workload (Fig. 19b, Section VIII-A).
+//!
+//! The paper evaluates four OLAP-style select queries (Qa–Qd) from RCNVMBench: scans over
+//! 4/8 B columns of a row-oriented table, i.e. strided accesses with the stride set by the
+//! row (tuple) width. Piccolo-FIM gathers the scanned column values in-row, so the
+//! conventional system pays one 64 B burst per tuple while Piccolo pays ~8 B.
+
+use piccolo_dram::{AddressMapper, DramConfig, MemRequest, MemorySystem, Region, RowId};
+use serde::{Deserialize, Serialize};
+
+/// One OLAP query class: a column scan over a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OlapQuery {
+    /// Query name (Qa..Qd).
+    pub name: &'static str,
+    /// Tuple (row) width in bytes — the scan stride.
+    pub tuple_bytes: u64,
+    /// Number of tuples scanned.
+    pub tuples: u64,
+    /// Number of 8 B columns the query touches per tuple.
+    pub columns: u64,
+}
+
+impl OlapQuery {
+    /// The four queries of Fig. 19b (select-heavy scans with different tuple widths and
+    /// projected column counts).
+    pub fn suite(tuples: u64) -> [OlapQuery; 4] {
+        [
+            OlapQuery { name: "Qa", tuple_bytes: 64, tuples, columns: 1 },
+            OlapQuery { name: "Qb", tuple_bytes: 128, tuples, columns: 1 },
+            OlapQuery { name: "Qc", tuple_bytes: 128, tuples, columns: 2 },
+            OlapQuery { name: "Qd", tuple_bytes: 256, tuples, columns: 1 },
+        ]
+    }
+}
+
+/// Result of running one query on one memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlapResult {
+    /// Elapsed memory clocks.
+    pub clocks: u64,
+    /// Off-chip bytes moved.
+    pub offchip_bytes: u64,
+}
+
+/// Runs a column-scan query on a conventional memory system (one 64 B read per touched
+/// tuple/column line).
+pub fn run_conventional(query: &OlapQuery, cfg: DramConfig) -> OlapResult {
+    let mut mem = MemorySystem::new(cfg);
+    let mut reqs = Vec::new();
+    let mut last_line = u64::MAX;
+    for t in 0..query.tuples {
+        for c in 0..query.columns {
+            let addr = t * query.tuple_bytes + c * 8;
+            let line = addr & !63;
+            if line != last_line {
+                last_line = line;
+                reqs.push(MemRequest::Read {
+                    addr: line,
+                    useful_bytes: 8 * query.columns.min(8) as u32,
+                    region: Region::Other,
+                });
+            }
+        }
+    }
+    let b = mem.service_batch(reqs);
+    OlapResult {
+        clocks: b.elapsed_clocks(),
+        offchip_bytes: mem.stats().offchip_bytes,
+    }
+}
+
+/// Runs the same query with Piccolo-FIM gathers (columns grouped per DRAM row).
+pub fn run_piccolo(query: &OlapQuery, cfg: DramConfig) -> OlapResult {
+    let cfg = cfg.with_fim();
+    let mapper = AddressMapper::new(&cfg);
+    let mut mem = MemorySystem::new(cfg);
+    let mut by_row: std::collections::HashMap<RowId, Vec<u16>> = std::collections::HashMap::new();
+    let mut order: Vec<RowId> = Vec::new();
+    for t in 0..query.tuples {
+        for c in 0..query.columns {
+            let addr = t * query.tuple_bytes + c * 8;
+            let loc = mapper.decompose(addr);
+            let row = mapper.row_id_of(&loc);
+            let entry = by_row.entry(row).or_insert_with(|| {
+                order.push(row);
+                Vec::new()
+            });
+            entry.push(loc.word_offset());
+        }
+    }
+    let items = cfg.fim.items_per_op as usize;
+    let mut reqs = Vec::new();
+    for row in order {
+        for chunk in by_row[&row].chunks(items) {
+            reqs.push(MemRequest::GatherFim {
+                row,
+                offsets: chunk.to_vec(),
+                region: Region::Other,
+            });
+        }
+    }
+    let b = mem.service_batch(reqs);
+    OlapResult {
+        clocks: b.elapsed_clocks(),
+        offchip_bytes: mem.stats().offchip_bytes,
+    }
+}
+
+/// Speedup of Piccolo over the conventional system for a query.
+pub fn speedup(query: &OlapQuery, cfg: DramConfig) -> f64 {
+    let conv = run_conventional(query, cfg);
+    let pic = run_piccolo(query, cfg);
+    conv.clocks as f64 / pic.clocks.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piccolo_speeds_up_wide_tuple_scans() {
+        let cfg = DramConfig::ddr4_2400_x16();
+        for q in OlapQuery::suite(20_000) {
+            let s = speedup(&q, cfg);
+            assert!(s > 1.5, "{}: speedup {s:.2}", q.name);
+            assert!(s < 6.0, "{}: speedup {s:.2}", q.name);
+        }
+    }
+
+    #[test]
+    fn piccolo_moves_fewer_bytes() {
+        let cfg = DramConfig::ddr4_2400_x16();
+        let q = OlapQuery { name: "Qd", tuple_bytes: 256, tuples: 10_000, columns: 1 };
+        let conv = run_conventional(&q, cfg);
+        let pic = run_piccolo(&q, cfg);
+        assert!(pic.offchip_bytes * 2 < conv.offchip_bytes);
+    }
+}

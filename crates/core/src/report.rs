@@ -1,0 +1,185 @@
+//! End-to-end reports: timing, traffic, energy and area.
+
+use piccolo_accel::RunResult;
+use piccolo_cache::area::{piccolo_overhead, set_assoc_overhead};
+use piccolo_dram::{dram_energy, DramConfig, DramEnergy, EnergyParams};
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown following the categories of Fig. 14.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Accelerator (PE array, prefetcher, crossbar) energy in nanojoules.
+    pub accelerator_nj: f64,
+    /// On-chip cache/scratchpad energy in nanojoules.
+    pub cache_nj: f64,
+    /// DRAM read energy in nanojoules.
+    pub dram_read_nj: f64,
+    /// DRAM write energy in nanojoules.
+    pub dram_write_nj: f64,
+    /// DRAM I/O energy in nanojoules.
+    pub dram_io_nj: f64,
+    /// Static/refresh and other energy in nanojoules.
+    pub others_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.accelerator_nj
+            + self.cache_nj
+            + self.dram_read_nj
+            + self.dram_write_nj
+            + self.dram_io_nj
+            + self.others_nj
+    }
+}
+
+/// Energy-model constants for the on-chip side (CACTI-class numbers; the DRAM side lives
+/// in [`EnergyParams`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnChipEnergyParams {
+    /// Accelerator dynamic energy per processed edge (nJ).
+    pub accel_nj_per_edge: f64,
+    /// Accelerator static power (W).
+    pub accel_static_w: f64,
+    /// Cache/scratchpad energy per access (nJ).
+    pub cache_nj_per_access: f64,
+    /// Cache leakage power (W).
+    pub cache_static_w: f64,
+}
+
+impl Default for OnChipEnergyParams {
+    fn default() -> Self {
+        Self {
+            accel_nj_per_edge: 0.08,
+            accel_static_w: 0.35,
+            cache_nj_per_access: 0.12,
+            cache_static_w: 0.25,
+        }
+    }
+}
+
+/// A full simulation report: the raw [`RunResult`] plus the derived energy breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The raw simulation result.
+    pub run: RunResult,
+    /// Energy breakdown (Fig. 14 categories).
+    pub energy: EnergyBreakdown,
+}
+
+impl SimReport {
+    /// Builds a report from a run, using default energy constants.
+    pub fn from_run(run: RunResult, dram: &DramConfig) -> Self {
+        Self::with_params(run, dram, &EnergyParams::default(), &OnChipEnergyParams::default())
+    }
+
+    /// Builds a report with explicit energy constants.
+    pub fn with_params(
+        run: RunResult,
+        dram: &DramConfig,
+        dram_params: &EnergyParams,
+        onchip: &OnChipEnergyParams,
+    ) -> Self {
+        let d: DramEnergy = dram_energy(dram, dram_params, &run.mem_stats, run.elapsed_ns);
+        let cache_accesses = run.cache_stats.accesses as f64;
+        let energy = EnergyBreakdown {
+            accelerator_nj: run.edges_processed as f64 * onchip.accel_nj_per_edge
+                + onchip.accel_static_w * run.elapsed_ns,
+            cache_nj: cache_accesses * onchip.cache_nj_per_access
+                + onchip.cache_static_w * run.elapsed_ns,
+            dram_read_nj: d.read_nj,
+            dram_write_nj: d.write_nj,
+            dram_io_nj: d.io_nj,
+            others_nj: d.others_nj,
+        };
+        Self { run, energy }
+    }
+
+    /// Speedup of this report relative to a baseline (cycles ratio).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.run.accel_cycles as f64 / self.run.accel_cycles.max(1) as f64
+    }
+
+    /// Energy of this report relative to a baseline.
+    pub fn energy_ratio_over(&self, baseline: &SimReport) -> f64 {
+        self.energy.total_nj() / baseline.energy.total_nj().max(1e-9)
+    }
+}
+
+/// Area report reproducing the numbers of Section VII-F.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Baseline accelerator area (mm^2), from the paper's RTL synthesis.
+    pub baseline_accelerator_mm2: f64,
+    /// Piccolo accelerator area (mm^2) including the collection-extended MSHR and
+    /// fg-tag arrays.
+    pub piccolo_accelerator_mm2: f64,
+    /// Relative on-chip area increase.
+    pub onchip_overhead_fraction: f64,
+    /// DRAM die area overhead of the Piccolo-FIM buffers and internal controller.
+    pub dram_overhead_fraction: f64,
+    /// Tag overhead of the Piccolo cache (fraction of data capacity).
+    pub piccolo_tag_overhead: f64,
+    /// Tag overhead of the ideal 8 B-line cache (fraction of data capacity).
+    pub line8_tag_overhead: f64,
+}
+
+/// Computes the area report at the paper's full-scale configuration (4 MiB, 8-way,
+/// 48-bit addresses).
+pub fn area_report() -> AreaReport {
+    let baseline = 6.34;
+    let piccolo = 6.60;
+    let piccolo_tags = piccolo_overhead(48, 4 << 20, 128, 8, 8);
+    let line8_tags = set_assoc_overhead(48, 4 << 20, 8, 8);
+    // DRAM side (Section VII-F): internal controller ~126 transistors (~0.04 % of the
+    // column periphery) plus two 128-bit buffers per bank, 0.135 % of the die each per
+    // the TechInsights breakdown -> ~4.36 % combined.
+    let dram_overhead = 0.0436;
+    AreaReport {
+        baseline_accelerator_mm2: baseline,
+        piccolo_accelerator_mm2: piccolo,
+        onchip_overhead_fraction: (piccolo - baseline) / baseline,
+        dram_overhead_fraction: dram_overhead,
+        piccolo_tag_overhead: piccolo_tags.total(),
+        line8_tag_overhead: line8_tags.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piccolo_accel::{simulate, SimConfig, SystemKind};
+    use piccolo_algo::Bfs;
+    use piccolo_graph::generate;
+
+    fn report(system: SystemKind) -> SimReport {
+        let g = generate::kronecker(11, 4, 3);
+        let cfg = SimConfig::for_system(system, 12).with_max_iterations(10);
+        SimReport::from_run(simulate(&g, &Bfs::new(0), &cfg), &cfg.dram)
+    }
+
+    #[test]
+    fn energy_breakdown_is_positive_and_io_dominated_for_baseline() {
+        let r = report(SystemKind::GraphDynsCache);
+        assert!(r.energy.total_nj() > 0.0);
+        assert!(r.energy.dram_io_nj > 0.0);
+        assert!(r.energy.dram_io_nj > r.energy.dram_write_nj);
+    }
+
+    #[test]
+    fn piccolo_uses_less_energy_than_baseline() {
+        let base = report(SystemKind::GraphDynsCache);
+        let pic = report(SystemKind::Piccolo);
+        assert!(pic.energy_ratio_over(&base) < 1.1);
+        assert!(pic.speedup_over(&base) > 0.5);
+    }
+
+    #[test]
+    fn area_report_matches_paper_figures() {
+        let a = area_report();
+        assert!((a.onchip_overhead_fraction - 0.041).abs() < 0.005);
+        assert!(a.dram_overhead_fraction < 0.05);
+        assert!(a.piccolo_tag_overhead < a.line8_tag_overhead / 2.0);
+    }
+}

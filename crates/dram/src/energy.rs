@@ -1,0 +1,161 @@
+//! DRAM energy model.
+//!
+//! The paper reports the energy breakdown of Fig. 14 with the categories accelerator,
+//! cache, DRAM read, DRAM write, DRAM I/O and "others" (static + refresh). The DRAM-side
+//! categories are computed here from the command counts gathered by the timing model,
+//! using per-operation energies in the range published for DDR4-class devices
+//! (datasheet/DRAMPower-style constants). Absolute joules are not the point — the paper's
+//! own numbers come from a model as well — but the relative weights (I/O dominating,
+//! activation second) follow the same structure.
+
+use crate::config::DramConfig;
+use crate::stats::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants in nanojoules (per rank-level operation / per 64 B of
+/// data) plus background power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one activate + precharge pair.
+    pub act_pre_nj: f64,
+    /// Core (array + peripheral) energy of reading one 64 B burst.
+    pub read_nj_per_burst: f64,
+    /// Core energy of writing one 64 B burst.
+    pub write_nj_per_burst: f64,
+    /// Off-chip I/O (and ODT) energy per 64 B crossing the channel.
+    pub io_nj_per_burst: f64,
+    /// Energy of one bank-internal column access that does not cross the channel
+    /// (FIM gather/scatter step, NMP internal read, PIM update).
+    pub internal_col_nj: f64,
+    /// Background (static + peripheral) power per rank, in watts.
+    pub static_w_per_rank: f64,
+    /// Refresh energy per rank per tREFI interval.
+    pub refresh_nj_per_refi: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            act_pre_nj: 1.7,
+            read_nj_per_burst: 1.1,
+            write_nj_per_burst: 1.2,
+            io_nj_per_burst: 2.6,
+            internal_col_nj: 0.45,
+            static_w_per_rank: 0.08,
+            refresh_nj_per_refi: 28.0,
+        }
+    }
+}
+
+/// DRAM energy broken down into the categories of Fig. 14.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramEnergy {
+    /// Read-path core energy (activations attributed to reads + read bursts + internal
+    /// column reads), in nanojoules.
+    pub read_nj: f64,
+    /// Write-path core energy, in nanojoules.
+    pub write_nj: f64,
+    /// Channel I/O energy, in nanojoules.
+    pub io_nj: f64,
+    /// Static + refresh energy ("Others" in Fig. 14), in nanojoules.
+    pub others_nj: f64,
+}
+
+impl DramEnergy {
+    /// Total DRAM energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.read_nj + self.write_nj + self.io_nj + self.others_nj
+    }
+}
+
+/// Computes the DRAM energy of a run from its statistics and elapsed time.
+pub fn dram_energy(
+    cfg: &DramConfig,
+    params: &EnergyParams,
+    stats: &MemStats,
+    elapsed_ns: f64,
+) -> DramEnergy {
+    let burst64 = |bursts: u64| bursts as f64 * cfg.org.burst_bytes as f64 / 64.0;
+
+    // Attribute activations proportionally to read vs write column traffic.
+    let rd_cols = stats.read_bursts as f64;
+    let wr_cols = stats.write_bursts as f64;
+    let col_total = (rd_cols + wr_cols).max(1.0);
+    let act_energy = stats.activations as f64 * params.act_pre_nj;
+    let act_rd = act_energy * rd_cols / col_total;
+    let act_wr = act_energy * wr_cols / col_total;
+
+    // Internal column accesses: gathers are internal reads, scatters internal writes, PIM
+    // updates one read + one write.
+    let internal_reads = (stats.fim_gathers + stats.nmp_ops / 2) as f64 * 8.0
+        + stats.pim_updates as f64;
+    let internal_writes =
+        (stats.fim_scatters + stats.nmp_ops / 2) as f64 * 8.0 + stats.pim_updates as f64;
+
+    let read_nj = act_rd
+        + burst64(stats.read_bursts) * params.read_nj_per_burst
+        + internal_reads * params.internal_col_nj;
+    let write_nj = act_wr
+        + burst64(stats.write_bursts) * params.write_nj_per_burst
+        + internal_writes * params.internal_col_nj;
+    let io_nj = (stats.offchip_bytes as f64 / 64.0) * params.io_nj_per_burst;
+
+    let ranks = (cfg.org.channels * cfg.org.ranks_per_channel) as f64;
+    let static_nj = params.static_w_per_rank * ranks * elapsed_ns; // W * ns = nJ
+    let refi_ns = cfg.timing.t_refi as f64 * cfg.clock_ns();
+    let refresh_nj = if refi_ns > 0.0 {
+        (elapsed_ns / refi_ns) * params.refresh_nj_per_refi * ranks
+    } else {
+        0.0
+    };
+
+    DramEnergy {
+        read_nj,
+        write_nj,
+        io_nj,
+        others_nj: static_nj + refresh_nj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_scales_with_offchip_bytes() {
+        let cfg = DramConfig::default();
+        let p = EnergyParams::default();
+        let mut s = MemStats::default();
+        s.offchip_bytes = 64 * 1000;
+        let e1 = dram_energy(&cfg, &p, &s, 1000.0);
+        s.offchip_bytes = 64 * 2000;
+        let e2 = dram_energy(&cfg, &p, &s, 1000.0);
+        assert!(e2.io_nj > 1.9 * e1.io_nj);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let cfg = DramConfig::default();
+        let p = EnergyParams::default();
+        let s = MemStats::default();
+        let e1 = dram_energy(&cfg, &p, &s, 1000.0);
+        let e2 = dram_energy(&cfg, &p, &s, 2000.0);
+        assert!(e2.others_nj > 1.9 * e1.others_nj);
+        assert_eq!(e1.read_nj, 0.0);
+    }
+
+    #[test]
+    fn reads_and_writes_split_activation_energy() {
+        let cfg = DramConfig::default();
+        let p = EnergyParams::default();
+        let s = MemStats {
+            activations: 100,
+            read_bursts: 300,
+            write_bursts: 100,
+            ..Default::default()
+        };
+        let e = dram_energy(&cfg, &p, &s, 0.0);
+        assert!(e.read_nj > e.write_nj);
+        assert!(e.total_nj() > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Memory request types exchanged between the on-chip side (caches, MSHRs, scratchpads,
+//! stream buffers) and the DRAM model.
+
+use crate::address::RowId;
+use serde::{Deserialize, Serialize};
+
+/// Classification of what a request is for; used only for statistics (the useful/unuseful
+/// breakdown of Fig. 3 and the read/write split of Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// CSR row-offset array.
+    TopologyRow,
+    /// CSR column-index / weight array.
+    TopologyCol,
+    /// Sequentially accessed source property (`Vprop`).
+    PropertySequential,
+    /// Randomly accessed destination property (`Vtemp`).
+    PropertyRandom,
+    /// Anything else (OLAP tables, microbenchmark buffers ...).
+    Other,
+}
+
+/// A request presented to the memory system.
+///
+/// Conventional requests move one burst (64 B for DDR4). The FIM/NMP/PIM variants model
+/// the memory-side mechanisms the paper compares:
+///
+/// * [`MemRequest::GatherFim`] / [`MemRequest::ScatterFim`] — Piccolo's in-bank random
+///   scatter/gather (Section IV), built by the collection-extended MSHR,
+/// * [`MemRequest::GatherNmp`] / [`MemRequest::ScatterNmp`] — the rank-level (buffer-chip)
+///   scatter-gather of the NMP baseline,
+/// * [`MemRequest::PimUpdate`] — the near-bank Process/Reduce/Apply of the PIM baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemRequest {
+    /// Read one burst at `addr`. `useful_bytes` says how much of the burst the requester
+    /// actually needed (for the Fig. 3 breakdown).
+    Read {
+        /// Byte address (burst aligned by the model).
+        addr: u64,
+        /// Bytes of the burst that are useful to the requester.
+        useful_bytes: u32,
+        /// Which data region this belongs to.
+        region: Region,
+    },
+    /// Write one burst at `addr`.
+    Write {
+        /// Byte address (burst aligned by the model).
+        addr: u64,
+        /// Bytes of the burst that carry useful data.
+        useful_bytes: u32,
+        /// Which data region this belongs to.
+        region: Region,
+    },
+    /// Piccolo-FIM gather of up to `items_per_op` 8-byte words from one DRAM row.
+    GatherFim {
+        /// The row all gathered words live in.
+        row: RowId,
+        /// 8-byte word offsets within the row (at most `FimConfig::items_per_op`).
+        offsets: Vec<u16>,
+        /// Region for statistics.
+        region: Region,
+    },
+    /// Piccolo-FIM scatter of up to `items_per_op` 8-byte words into one DRAM row.
+    ScatterFim {
+        /// The row all scattered words live in.
+        row: RowId,
+        /// 8-byte word offsets within the row.
+        offsets: Vec<u16>,
+        /// Region for statistics.
+        region: Region,
+    },
+    /// NMP (buffer-chip) gather: same off-chip traffic as a FIM gather but the internal
+    /// column reads serialize on the rank-level bus.
+    GatherNmp {
+        /// The row all gathered words live in.
+        row: RowId,
+        /// 8-byte word offsets within the row.
+        offsets: Vec<u16>,
+        /// Region for statistics.
+        region: Region,
+    },
+    /// NMP (buffer-chip) scatter.
+    ScatterNmp {
+        /// The row all scattered words live in.
+        row: RowId,
+        /// 8-byte word offsets within the row.
+        offsets: Vec<u16>,
+        /// Region for statistics.
+        region: Region,
+    },
+    /// PIM near-bank update: an in-bank read-modify-write of one 8-byte word with the
+    /// Reduce operator, no channel data transfer.
+    PimUpdate {
+        /// Byte address of the word being reduced into.
+        addr: u64,
+        /// Region for statistics.
+        region: Region,
+    },
+}
+
+impl MemRequest {
+    /// Convenience constructor for a fully-useful 64 B read.
+    pub fn read(addr: u64, region: Region) -> Self {
+        MemRequest::Read {
+            addr,
+            useful_bytes: 64,
+            region,
+        }
+    }
+
+    /// Convenience constructor for a fully-useful 64 B write.
+    pub fn write(addr: u64, region: Region) -> Self {
+        MemRequest::Write {
+            addr,
+            useful_bytes: 64,
+            region,
+        }
+    }
+
+    /// Returns `true` for requests that move data from memory to the chip.
+    pub fn is_read_like(&self) -> bool {
+        matches!(
+            self,
+            MemRequest::Read { .. } | MemRequest::GatherFim { .. } | MemRequest::GatherNmp { .. }
+        )
+    }
+
+    /// The statistics region of the request.
+    pub fn region(&self) -> Region {
+        match self {
+            MemRequest::Read { region, .. }
+            | MemRequest::Write { region, .. }
+            | MemRequest::GatherFim { region, .. }
+            | MemRequest::ScatterFim { region, .. }
+            | MemRequest::GatherNmp { region, .. }
+            | MemRequest::ScatterNmp { region, .. }
+            | MemRequest::PimUpdate { region, .. } => *region,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_classification() {
+        let r = MemRequest::read(64, Region::PropertyRandom);
+        assert!(r.is_read_like());
+        assert_eq!(r.region(), Region::PropertyRandom);
+        let w = MemRequest::write(0, Region::TopologyCol);
+        assert!(!w.is_read_like());
+        let g = MemRequest::GatherFim {
+            row: RowId(3),
+            offsets: vec![1, 2, 3],
+            region: Region::PropertyRandom,
+        };
+        assert!(g.is_read_like());
+        let p = MemRequest::PimUpdate {
+            addr: 8,
+            region: Region::PropertyRandom,
+        };
+        assert!(!p.is_read_like());
+    }
+}

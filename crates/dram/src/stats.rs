@@ -1,0 +1,120 @@
+//! Statistics collected by the DRAM model.
+
+use serde::{Deserialize, Serialize};
+
+/// Command/traffic counters accumulated while servicing requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Row activations issued.
+    pub activations: u64,
+    /// Precharges issued.
+    pub precharges: u64,
+    /// Read bursts on the channel (includes FIM data-buffer reads).
+    pub read_bursts: u64,
+    /// Write bursts on the channel (includes FIM offset/data-buffer writes).
+    pub write_bursts: u64,
+    /// Piccolo-FIM gather operations executed.
+    pub fim_gathers: u64,
+    /// Piccolo-FIM scatter operations executed.
+    pub fim_scatters: u64,
+    /// NMP gather/scatter operations executed.
+    pub nmp_ops: u64,
+    /// PIM near-bank updates executed.
+    pub pim_updates: u64,
+    /// Bytes transferred over the off-chip channel (both directions).
+    pub offchip_bytes: u64,
+    /// Bytes of off-chip traffic that the requester marked as useful.
+    pub useful_offchip_bytes: u64,
+    /// Bytes moved inside the DRAM devices (bank-internal column accesses of FIM/NMP/PIM
+    /// operations) that never cross the channel.
+    pub internal_bytes: u64,
+    /// Read transactions as counted by the paper (Fig. 3/12): one per RD burst.
+    pub read_transactions: u64,
+    /// Write transactions as counted by the paper.
+    pub write_transactions: u64,
+    /// Row-buffer hits among column accesses.
+    pub row_hits: u64,
+    /// Row-buffer misses (required an activation).
+    pub row_misses: u64,
+}
+
+impl MemStats {
+    /// Total transactions (RD + WR).
+    pub fn total_transactions(&self) -> u64 {
+        self.read_transactions + self.write_transactions
+    }
+
+    /// Fraction of off-chip traffic that was useful.
+    pub fn useful_fraction(&self) -> f64 {
+        if self.offchip_bytes == 0 {
+            1.0
+        } else {
+            self.useful_offchip_bytes as f64 / self.offchip_bytes as f64
+        }
+    }
+
+    /// Row-buffer hit rate among column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.activations += other.activations;
+        self.precharges += other.precharges;
+        self.read_bursts += other.read_bursts;
+        self.write_bursts += other.write_bursts;
+        self.fim_gathers += other.fim_gathers;
+        self.fim_scatters += other.fim_scatters;
+        self.nmp_ops += other.nmp_ops;
+        self.pim_updates += other.pim_updates;
+        self.offchip_bytes += other.offchip_bytes;
+        self.useful_offchip_bytes += other.useful_offchip_bytes;
+        self.internal_bytes += other.internal_bytes;
+        self.read_transactions += other.read_transactions;
+        self.write_transactions += other.write_transactions;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_derived_metrics() {
+        let mut a = MemStats {
+            read_transactions: 10,
+            write_transactions: 5,
+            offchip_bytes: 1000,
+            useful_offchip_bytes: 250,
+            row_hits: 6,
+            row_misses: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            read_transactions: 2,
+            offchip_bytes: 200,
+            useful_offchip_bytes: 200,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_transactions(), 17);
+        assert!((a.useful_fraction() - 450.0 / 1200.0).abs() < 1e-12);
+        assert!((a.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_edge_cases() {
+        let s = MemStats::default();
+        assert_eq!(s.total_transactions(), 0);
+        assert_eq!(s.useful_fraction(), 1.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+}

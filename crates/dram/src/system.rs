@@ -1,0 +1,942 @@
+//! Command-level DRAM timing model with the Piccolo-FIM extension.
+//!
+//! The model follows the same abstraction level as Ramulator (which the paper uses): each
+//! request is translated into the DRAM commands it needs (PRE/ACT/RD/WR plus the FIM
+//! virtual-row sequence), and per-bank / per-rank / per-channel timing windows decide when
+//! each command may issue. A bounded look-ahead window reorders requests the way an
+//! FR-FCFS scheduler would: requests that can finish earlier (typically row hits) issue
+//! first within the window.
+//!
+//! Refresh is accounted for in the energy model only; its timing impact (a few percent,
+//! identical across all evaluated systems) is ignored, as is common in accelerator
+//! studies.
+
+use crate::address::{AddressMapper, RowId};
+use crate::config::DramConfig;
+use crate::request::MemRequest;
+use crate::stats::MemStats;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Kinds of DRAM commands recorded in the (optional) verification trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Row activation.
+    Act,
+    /// Precharge.
+    Pre,
+    /// Column read (burst).
+    Rd,
+    /// Column write (burst).
+    Wr,
+}
+
+/// One command in the verification trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommandRecord {
+    /// Issue time in memory clocks.
+    pub time: u64,
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index.
+    pub rank: u32,
+    /// Bank index (global within the rank).
+    pub bank: u32,
+    /// Row (for ACT) or 0.
+    pub row: u64,
+    /// Data-bus busy interval `(start, end)` in clocks for RD/WR, `(0, 0)` otherwise.
+    pub bus: (u64, u64),
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    act_ready: u64,
+    col_ready: u64,
+    pre_ready: u64,
+    last_act: u64,
+    busy_until: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankState {
+    act_times: VecDeque<u64>,
+    last_act: u64,
+    internal_bus_free: u64,
+}
+
+/// Channel data-bus schedule with gap filling: bursts issued to one bank do not block the
+/// bus during another bank's internal (FIM) gap. Only a bounded window of recent busy
+/// intervals is kept; anything older than the window is treated as unavailable, which is
+/// conservative.
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    /// Sorted, non-overlapping busy intervals `(start, end)`.
+    busy: VecDeque<(u64, u64)>,
+    /// Everything before this time is considered unavailable (intervals older than the
+    /// bookkeeping window have been folded into the horizon).
+    horizon: u64,
+}
+
+impl ChannelState {
+    const MAX_INTERVALS: usize = 256;
+
+    /// Reserves `duration` clocks on the bus starting no earlier than `earliest`.
+    /// Returns the start of the reserved interval. Gaps between existing reservations are
+    /// reused (gap filling), so a burst to one bank can use the bus while another bank is
+    /// in its FIM internal-operation window.
+    fn reserve(&mut self, earliest: u64, duration: u64) -> u64 {
+        let mut start = earliest.max(self.horizon);
+        // Find the first gap that fits.
+        let mut insert_at = self.busy.len();
+        for (i, &(s, e)) in self.busy.iter().enumerate() {
+            if start + duration <= s {
+                insert_at = i;
+                break;
+            }
+            if start < e {
+                start = e;
+            }
+        }
+        self.busy.insert(insert_at, (start, start + duration));
+        // Bound the bookkeeping window; dropped intervals are absorbed into the horizon so
+        // the bus can never be double-booked.
+        while self.busy.len() > Self::MAX_INTERVALS {
+            if let Some((_, end)) = self.busy.pop_front() {
+                self.horizon = self.horizon.max(end);
+            }
+        }
+        start
+    }
+}
+
+/// Result of servicing one batch of requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Time (memory clocks) at which the batch started.
+    pub start_clock: u64,
+    /// Time (memory clocks) at which the last request completed.
+    pub end_clock: u64,
+    /// Number of requests serviced.
+    pub requests: u64,
+}
+
+impl BatchResult {
+    /// Elapsed memory clocks for the batch.
+    pub fn elapsed_clocks(&self) -> u64 {
+        self.end_clock - self.start_clock
+    }
+}
+
+/// The memory system: all channels, ranks and banks of one [`DramConfig`].
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: DramConfig,
+    mapper: AddressMapper,
+    now: u64,
+    banks: Vec<BankState>,
+    ranks: Vec<RankState>,
+    channels: Vec<ChannelState>,
+    stats: MemStats,
+    trace: Option<Vec<CommandRecord>>,
+}
+
+/// Everything a planned request would change, so selection can be done without mutation.
+#[derive(Debug, Clone)]
+struct Plan {
+    completion: u64,
+    bank_idx: usize,
+    rank_idx: usize,
+    channel_idx: usize,
+    new_bank: BankState,
+    new_rank: RankState,
+    new_channel: ChannelState,
+    stats_delta: MemStats,
+    records: Vec<CommandRecord>,
+}
+
+impl MemorySystem {
+    /// Creates a memory system in the idle state at time zero.
+    pub fn new(cfg: DramConfig) -> Self {
+        let mapper = AddressMapper::new(&cfg);
+        let nbanks =
+            (cfg.org.channels * cfg.org.ranks_per_channel * cfg.org.banks_per_rank) as usize;
+        let nranks = (cfg.org.channels * cfg.org.ranks_per_channel) as usize;
+        Self {
+            cfg,
+            mapper,
+            now: 0,
+            banks: vec![BankState::default(); nbanks],
+            ranks: vec![RankState::default(); nranks],
+            channels: vec![ChannelState::default(); cfg.org.channels as usize],
+            stats: MemStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables command-trace recording (used by the timing-legality checker in tests).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded command trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[CommandRecord]> {
+        self.trace.as_deref()
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The address mapper (shared with caches/MSHRs so they can group by DRAM row).
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets statistics (the time cursor and bank states are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Current time in memory clocks.
+    pub fn now_clocks(&self) -> u64 {
+        self.now
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.now as f64 * self.cfg.clock_ns()
+    }
+
+    /// Converts clocks to nanoseconds using this system's memory clock.
+    pub fn clocks_to_ns(&self, clocks: u64) -> f64 {
+        clocks as f64 * self.cfg.clock_ns()
+    }
+
+    fn bank_index(&self, channel: u32, rank: u32, bank: u32) -> usize {
+        ((channel * self.cfg.org.ranks_per_channel + rank) * self.cfg.org.banks_per_rank + bank)
+            as usize
+    }
+
+    fn rank_index(&self, channel: u32, rank: u32) -> usize {
+        (channel * self.cfg.org.ranks_per_channel + rank) as usize
+    }
+
+    /// Services a batch of requests, returning the timing of the batch. Requests may be
+    /// reordered within the configured queue window (FR-FCFS-style), but the batch only
+    /// finishes when every request has completed.
+    pub fn service_batch<I>(&mut self, requests: I) -> BatchResult
+    where
+        I: IntoIterator<Item = MemRequest>,
+    {
+        let start = self.now;
+        let mut iter = requests.into_iter();
+        let mut window: VecDeque<MemRequest> = VecDeque::new();
+        let depth = self.cfg.queue_depth.max(1);
+        let mut count = 0u64;
+        let mut batch_end = start;
+
+        loop {
+            while window.len() < depth {
+                match iter.next() {
+                    Some(r) => window.push_back(r),
+                    None => break,
+                }
+            }
+            if window.is_empty() {
+                break;
+            }
+            // Pick the window entry whose first column access could issue earliest (row
+            // hits win over row misses), breaking ties by arrival order — the essence of
+            // FR-FCFS.
+            let mut best_idx = 0;
+            let mut best_key = u64::MAX;
+            for (i, req) in window.iter().enumerate() {
+                let key = self.estimate_start(req);
+                if key < best_key {
+                    best_key = key;
+                    best_idx = i;
+                }
+            }
+            let req = window.remove(best_idx).expect("window entry");
+            let plan = self.plan(&req, self.now);
+            batch_end = batch_end.max(plan.completion);
+            self.commit(plan);
+            count += 1;
+        }
+
+        // Advance the global cursor to the end of the batch so subsequent batches cannot
+        // overlap with this one (the accelerator consumes the data before issuing more).
+        self.now = self.now.max(batch_end);
+        BatchResult {
+            start_clock: start,
+            end_clock: batch_end.max(start),
+            requests: count,
+        }
+    }
+
+    /// Services a single request immediately (convenience for microbenchmarks/tests).
+    pub fn service_one(&mut self, request: MemRequest) -> BatchResult {
+        self.service_batch(std::iter::once(request))
+    }
+
+    fn commit(&mut self, plan: Plan) {
+        self.banks[plan.bank_idx] = plan.new_bank;
+        self.ranks[plan.rank_idx] = plan.new_rank;
+        self.channels[plan.channel_idx] = plan.new_channel;
+        self.stats.merge(&plan.stats_delta);
+        if let Some(trace) = &mut self.trace {
+            trace.extend(plan.records);
+        }
+    }
+
+    /// Cheap estimate of when a request's first column command could issue, used by the
+    /// FR-FCFS-style selection (row hits get earlier estimates than row misses).
+    fn estimate_start(&self, req: &MemRequest) -> u64 {
+        let t = &self.cfg.timing;
+        let (bank_idx, row) = match req {
+            MemRequest::Read { addr, .. }
+            | MemRequest::Write { addr, .. }
+            | MemRequest::PimUpdate { addr, .. } => {
+                let loc = self.mapper.decompose(*addr);
+                (self.bank_index(loc.channel, loc.rank, loc.bank), loc.row)
+            }
+            MemRequest::GatherFim { row, .. }
+            | MemRequest::ScatterFim { row, .. }
+            | MemRequest::GatherNmp { row, .. }
+            | MemRequest::ScatterNmp { row, .. } => {
+                let (ch, ra, ba, r) = self.mapper.unpack_row_id(*row);
+                (self.bank_index(ch, ra, ba), r)
+            }
+        };
+        let bank = &self.banks[bank_idx];
+        if bank.open_row == Some(row) {
+            bank.col_ready.max(bank.busy_until)
+        } else {
+            bank.act_ready
+                .max(bank.pre_ready)
+                .max(bank.busy_until)
+                .saturating_add(t.t_rp + t.t_rcd)
+        }
+    }
+
+    fn row_coords(&self, row: RowId) -> (u32, u32, u32, u64) {
+        self.mapper.unpack_row_id(row)
+    }
+
+    /// Plans a request starting no earlier than `earliest`, without mutating any state.
+    fn plan(&self, req: &MemRequest, earliest: u64) -> Plan {
+        match req {
+            MemRequest::Read {
+                addr,
+                useful_bytes,
+                ..
+            } => self.plan_simple(*addr, false, *useful_bytes, earliest),
+            MemRequest::Write {
+                addr,
+                useful_bytes,
+                ..
+            } => self.plan_simple(*addr, true, *useful_bytes, earliest),
+            MemRequest::GatherFim { row, offsets, .. } => {
+                self.plan_fim(*row, offsets.len() as u64, false, earliest)
+            }
+            MemRequest::ScatterFim { row, offsets, .. } => {
+                self.plan_fim(*row, offsets.len() as u64, true, earliest)
+            }
+            MemRequest::GatherNmp { row, offsets, .. } => {
+                self.plan_nmp(*row, offsets.len() as u64, false, earliest)
+            }
+            MemRequest::ScatterNmp { row, offsets, .. } => {
+                self.plan_nmp(*row, offsets.len() as u64, true, earliest)
+            }
+            MemRequest::PimUpdate { addr, .. } => self.plan_pim(*addr, earliest),
+        }
+    }
+
+    /// Opens `row` in the bank if needed. Returns the time at which a column command may
+    /// issue, and updates the plan's bank/rank copies and statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn ensure_row_open(
+        &self,
+        bank: &mut BankState,
+        rank: &mut RankState,
+        records: &mut Vec<CommandRecord>,
+        stats: &mut MemStats,
+        coords: (u32, u32, u32),
+        row: u64,
+        earliest: u64,
+    ) -> u64 {
+        let t = &self.cfg.timing;
+        let (channel, rank_i, bank_i) = coords;
+        let mut start = earliest.max(bank.busy_until);
+
+        if bank.open_row == Some(row) {
+            stats.row_hits += 1;
+            return start.max(bank.col_ready);
+        }
+        stats.row_misses += 1;
+
+        // Precharge if another row is open.
+        if bank.open_row.is_some() {
+            let t_pre = start.max(bank.pre_ready);
+            records.push(CommandRecord {
+                time: t_pre,
+                kind: CommandKind::Pre,
+                channel,
+                rank: rank_i,
+                bank: bank_i,
+                row: 0,
+                bus: (0, 0),
+            });
+            stats.precharges += 1;
+            bank.act_ready = bank.act_ready.max(t_pre + t.t_rp);
+            start = t_pre;
+        }
+
+        // Activate, respecting tRC (same bank), tRRD (same rank) and tFAW (4-activate
+        // window per rank).
+        let mut t_act = start
+            .max(bank.act_ready)
+            .max(bank.last_act + t.t_rc)
+            .max(rank.last_act + t.t_rrd);
+        if rank.act_times.len() >= 4 {
+            let fourth_last = rank.act_times[rank.act_times.len() - 4];
+            t_act = t_act.max(fourth_last + t.t_faw);
+        }
+        records.push(CommandRecord {
+            time: t_act,
+            kind: CommandKind::Act,
+            channel,
+            rank: rank_i,
+            bank: bank_i,
+            row,
+            bus: (0, 0),
+        });
+        stats.activations += 1;
+        bank.open_row = Some(row);
+        bank.last_act = t_act;
+        bank.col_ready = t_act + t.t_rcd;
+        bank.pre_ready = t_act + t.t_ras;
+        rank.last_act = t_act;
+        rank.act_times.push_back(t_act);
+        while rank.act_times.len() > 8 {
+            rank.act_times.pop_front();
+        }
+        bank.col_ready
+    }
+
+    /// Issues one column burst (RD or WR), returning `(issue_time, data_end_time)`.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_column(
+        &self,
+        bank: &mut BankState,
+        channel: &mut ChannelState,
+        records: &mut Vec<CommandRecord>,
+        stats: &mut MemStats,
+        coords: (u32, u32, u32),
+        is_write: bool,
+        ready: u64,
+    ) -> (u64, u64) {
+        let t = &self.cfg.timing;
+        let (ch, ra, ba) = coords;
+        let latency = if is_write { t.t_cwl } else { t.t_cl };
+        // The data bus must be free for the burst; gap filling lets bursts to other banks
+        // proceed during another bank's FIM gap.
+        let earliest_data = ready.max(bank.col_ready) + latency;
+        let data_start = channel.reserve(earliest_data, t.t_burst);
+        let t_col = data_start - latency;
+        let data_end = data_start + t.t_burst;
+        bank.col_ready = t_col + t.t_ccd_l;
+        if is_write {
+            bank.pre_ready = bank.pre_ready.max(data_end + t.t_wr);
+            stats.write_bursts += 1;
+        } else {
+            bank.pre_ready = bank.pre_ready.max(t_col + t.t_rtp);
+            stats.read_bursts += 1;
+        }
+        records.push(CommandRecord {
+            time: t_col,
+            kind: if is_write {
+                CommandKind::Wr
+            } else {
+                CommandKind::Rd
+            },
+            channel: ch,
+            rank: ra,
+            bank: ba,
+            row: 0,
+            bus: (data_start, data_end),
+        });
+        (t_col, data_end)
+    }
+
+    fn plan_simple(&self, addr: u64, is_write: bool, useful_bytes: u32, earliest: u64) -> Plan {
+        let loc = self.mapper.decompose(addr);
+        let bank_idx = self.bank_index(loc.channel, loc.rank, loc.bank);
+        let rank_idx = self.rank_index(loc.channel, loc.rank);
+        let channel_idx = loc.channel as usize;
+        let mut bank = self.banks[bank_idx].clone();
+        let mut rank = self.ranks[rank_idx].clone();
+        let mut channel = self.channels[channel_idx].clone();
+        let mut stats = MemStats::default();
+        let mut records = Vec::new();
+        let coords = (loc.channel, loc.rank, loc.bank);
+
+        let ready = self.ensure_row_open(
+            &mut bank,
+            &mut rank,
+            &mut records,
+            &mut stats,
+            coords,
+            loc.row,
+            earliest,
+        );
+        let (_, data_end) = self.issue_column(
+            &mut bank,
+            &mut channel,
+            &mut records,
+            &mut stats,
+            coords,
+            is_write,
+            ready,
+        );
+
+        let burst = self.cfg.org.burst_bytes;
+        stats.offchip_bytes += burst;
+        stats.useful_offchip_bytes += u64::from(useful_bytes).min(burst);
+        if is_write {
+            stats.write_transactions += 1;
+        } else {
+            stats.read_transactions += 1;
+        }
+
+        Plan {
+            completion: data_end,
+            bank_idx,
+            rank_idx,
+            channel_idx,
+            new_bank: bank,
+            new_rank: rank,
+            new_channel: channel,
+            stats_delta: stats,
+            records,
+        }
+    }
+
+    /// Piccolo-FIM gather/scatter (Section IV/VI): offset-buffer write burst(s), the
+    /// in-bank operation hidden under the virtual-row `tWR + tRP + tRCD` gap, and the
+    /// data-buffer read (gather) or write (scatter) burst(s).
+    fn plan_fim(&self, row: RowId, items: u64, is_scatter: bool, earliest: u64) -> Plan {
+        let (ch, ra, ba, row_no) = self.row_coords(row);
+        let bank_idx = self.bank_index(ch, ra, ba);
+        let rank_idx = self.rank_index(ch, ra);
+        let channel_idx = ch as usize;
+        let mut bank = self.banks[bank_idx].clone();
+        let mut rank = self.ranks[rank_idx].clone();
+        let mut channel = self.channels[channel_idx].clone();
+        let mut stats = MemStats::default();
+        let mut records = Vec::new();
+        let coords = (ch, ra, ba);
+        let fim = &self.cfg.fim;
+        let org = &self.cfg.org;
+
+        let ready = self.ensure_row_open(
+            &mut bank,
+            &mut rank,
+            &mut records,
+            &mut stats,
+            coords,
+            row_no,
+            earliest,
+        );
+
+        // 1. Offset-buffer write burst(s) over the data bus.
+        let offset_bursts = fim.offset_bursts(org);
+        let mut last_end = ready;
+        for i in 0..offset_bursts {
+            let r = if i == 0 { ready } else { last_end };
+            let (_, end) = self.issue_column(
+                &mut bank,
+                &mut channel,
+                &mut records,
+                &mut stats,
+                coords,
+                true,
+                r,
+            );
+            last_end = end;
+        }
+
+        // 2. The internal gather/scatter proceeds during the virtual-row gap. The memory
+        //    controller may not touch this bank before the gap elapses.
+        let gap = self
+            .cfg
+            .fim_gap_clocks()
+            .max(self.cfg.fim_internal_clocks());
+        let internal_done = last_end + gap;
+        bank.col_ready = bank.col_ready.max(internal_done);
+
+        // 3. Data-buffer access: read for gathers, write for scatters.
+        let data_bursts = fim.data_bursts(org);
+        let mut completion = internal_done;
+        for i in 0..data_bursts {
+            let r = if i == 0 { internal_done } else { completion };
+            let (_, end) = self.issue_column(
+                &mut bank,
+                &mut channel,
+                &mut records,
+                &mut stats,
+                coords,
+                is_scatter,
+                r,
+            );
+            completion = end;
+        }
+        bank.busy_until = completion;
+
+        // Traffic accounting.
+        let burst = org.burst_bytes;
+        stats.offchip_bytes += (offset_bursts + data_bursts) * burst;
+        stats.useful_offchip_bytes += items * 8;
+        stats.internal_bytes += items * burst; // full internal column access per item
+        stats.write_transactions += offset_bursts;
+        if is_scatter {
+            stats.write_transactions += data_bursts;
+            stats.fim_scatters += 1;
+        } else {
+            stats.read_transactions += data_bursts;
+            stats.fim_gathers += 1;
+        }
+
+        Plan {
+            completion,
+            bank_idx,
+            rank_idx,
+            channel_idx,
+            new_bank: bank,
+            new_rank: rank,
+            new_channel: channel,
+            stats_delta: stats,
+            records,
+        }
+    }
+
+    /// NMP (buffer-chip, rank-level) gather/scatter: the same off-chip traffic as a FIM
+    /// operation, but the internal column accesses serialize on the rank-level bus shared
+    /// by every bank of the rank.
+    fn plan_nmp(&self, row: RowId, items: u64, is_scatter: bool, earliest: u64) -> Plan {
+        let (ch, ra, ba, row_no) = self.row_coords(row);
+        let bank_idx = self.bank_index(ch, ra, ba);
+        let rank_idx = self.rank_index(ch, ra);
+        let channel_idx = ch as usize;
+        let mut bank = self.banks[bank_idx].clone();
+        let mut rank = self.ranks[rank_idx].clone();
+        let mut channel = self.channels[channel_idx].clone();
+        let mut stats = MemStats::default();
+        let mut records = Vec::new();
+        let coords = (ch, ra, ba);
+        let t = &self.cfg.timing;
+        let org = &self.cfg.org;
+
+        let ready = self.ensure_row_open(
+            &mut bank,
+            &mut rank,
+            &mut records,
+            &mut stats,
+            coords,
+            row_no,
+            earliest,
+        );
+
+        // One command/offset burst from the host to the buffer chip.
+        let (_, cmd_end) = self.issue_column(
+            &mut bank,
+            &mut channel,
+            &mut records,
+            &mut stats,
+            coords,
+            true,
+            ready,
+        );
+
+        // The buffer chip then performs `items` column accesses serialized on the
+        // rank-internal bus (one burst each), without occupying the off-chip channel.
+        let mut internal_cursor = cmd_end.max(rank.internal_bus_free).max(bank.col_ready);
+        for _ in 0..items {
+            internal_cursor += t.t_ccd_l.max(t.t_burst);
+        }
+        rank.internal_bus_free = internal_cursor;
+        bank.col_ready = bank.col_ready.max(internal_cursor);
+        stats.internal_bytes += items * org.burst_bytes;
+
+        // Finally one data burst over the channel carries the gathered words (or
+        // acknowledges the scatter data which was sent along with the command).
+        let (_, data_end) = self.issue_column(
+            &mut bank,
+            &mut channel,
+            &mut records,
+            &mut stats,
+            coords,
+            is_scatter,
+            internal_cursor,
+        );
+        bank.busy_until = data_end;
+
+        let burst = org.burst_bytes;
+        stats.offchip_bytes += 2 * burst;
+        stats.useful_offchip_bytes += items * 8;
+        stats.nmp_ops += 1;
+        stats.write_transactions += 1;
+        if is_scatter {
+            stats.write_transactions += 1;
+        } else {
+            stats.read_transactions += 1;
+        }
+
+        Plan {
+            completion: data_end,
+            bank_idx,
+            rank_idx,
+            channel_idx,
+            new_bank: bank,
+            new_rank: rank,
+            new_channel: channel,
+            stats_delta: stats,
+            records,
+        }
+    }
+
+    /// PIM near-bank update: in-bank read-modify-write of one word, no channel traffic.
+    fn plan_pim(&self, addr: u64, earliest: u64) -> Plan {
+        let loc = self.mapper.decompose(addr);
+        let bank_idx = self.bank_index(loc.channel, loc.rank, loc.bank);
+        let rank_idx = self.rank_index(loc.channel, loc.rank);
+        let channel_idx = loc.channel as usize;
+        let mut bank = self.banks[bank_idx].clone();
+        let mut rank = self.ranks[rank_idx].clone();
+        let channel = self.channels[channel_idx].clone();
+        let mut stats = MemStats::default();
+        let mut records = Vec::new();
+        let coords = (loc.channel, loc.rank, loc.bank);
+        let t = &self.cfg.timing;
+
+        let ready = self.ensure_row_open(
+            &mut bank,
+            &mut rank,
+            &mut records,
+            &mut stats,
+            coords,
+            loc.row,
+            earliest,
+        );
+        // Internal column read + compute + column write; the near-bank ALU adds a couple
+        // of cycles of latency that is irrelevant next to the column timing.
+        let completion = ready.max(bank.col_ready) + 2 * t.t_ccd_l + 2;
+        bank.col_ready = completion;
+        bank.pre_ready = bank.pre_ready.max(completion + t.t_wr);
+        bank.busy_until = completion;
+        stats.pim_updates += 1;
+        stats.internal_bytes += 2 * self.cfg.org.burst_bytes;
+
+        Plan {
+            completion,
+            bank_idx,
+            rank_idx,
+            channel_idx,
+            new_bank: bank,
+            new_rank: rank,
+            new_channel: channel,
+            stats_delta: stats,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Region;
+
+    fn read(addr: u64) -> MemRequest {
+        MemRequest::read(addr, Region::Other)
+    }
+
+    #[test]
+    fn sequential_reads_hit_open_rows() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        let reqs: Vec<MemRequest> = (0..256u64).map(|i| read(i * 64)).collect();
+        mem.service_batch(reqs);
+        let s = mem.stats();
+        assert_eq!(s.read_transactions, 256);
+        // Sequential bursts across 2 channels: at most a handful of activations.
+        assert!(s.activations <= 8, "activations = {}", s.activations);
+        assert!(s.row_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn random_reads_cause_activations() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        // Touch one burst per row over many rows.
+        let row_stride = 1 << 20;
+        let reqs: Vec<MemRequest> = (0..128u64).map(|i| read(i * row_stride)).collect();
+        mem.service_batch(reqs);
+        assert!(mem.stats().activations >= 64);
+    }
+
+    #[test]
+    fn random_reads_take_longer_than_sequential() {
+        let cfg = DramConfig::ddr4_2400_x16();
+        let mut seq = MemorySystem::new(cfg);
+        let t_seq = seq
+            .service_batch((0..512u64).map(|i| read(i * 64)))
+            .elapsed_clocks();
+        let mut rnd = MemorySystem::new(cfg);
+        // A pseudo-random pattern touching many distinct rows within one bank's address
+        // range, defeating both row locality and channel interleave.
+        let t_rnd = rnd
+            .service_batch((0..512u64).map(|i| read(((i * 2654435761) % 100_000) * 8192)))
+            .elapsed_clocks();
+        assert!(
+            t_rnd > t_seq,
+            "random ({t_rnd}) should be slower than sequential ({t_seq})"
+        );
+    }
+
+    #[test]
+    fn fim_gather_moves_less_offchip_data_than_eight_reads() {
+        let cfg = DramConfig::ddr4_2400_x16().with_fim();
+        let mapper = AddressMapper::new(&cfg);
+        let mut fim = MemorySystem::new(cfg);
+        let row = mapper.row_id(0);
+        fim.service_one(MemRequest::GatherFim {
+            row,
+            offsets: (0..8).collect(),
+            region: Region::PropertyRandom,
+        });
+        let fim_bytes = fim.stats().offchip_bytes;
+
+        let mut conv = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        conv.service_batch((0..8u64).map(|i| MemRequest::Read {
+            addr: i * 1024,
+            useful_bytes: 8,
+            region: Region::PropertyRandom,
+        }));
+        let conv_bytes = conv.stats().offchip_bytes;
+        assert_eq!(fim_bytes, 128); // one offset burst + one data burst
+        assert_eq!(conv_bytes, 512); // eight 64 B bursts
+        assert_eq!(fim.stats().fim_gathers, 1);
+        assert!(fim.stats().internal_bytes > 0);
+    }
+
+    #[test]
+    fn fim_gathers_on_different_banks_overlap() {
+        // Two gathers to different banks should take much less than twice one gather,
+        // because the virtual-row gap of one bank overlaps the other bank's work.
+        let cfg = DramConfig::new(crate::config::MemoryKind::Ddr4X16, 1, 1).with_fim();
+        let mapper = AddressMapper::new(&cfg);
+        let mut one = MemorySystem::new(cfg);
+        let row_a = mapper.row_id(0);
+        // A different bank: bank bits sit above the column bits.
+        let row_b = mapper.row_id(cfg.org.row_bytes * 2);
+        let t1 = one
+            .service_one(MemRequest::GatherFim {
+                row: row_a,
+                offsets: (0..8).collect(),
+                region: Region::Other,
+            })
+            .elapsed_clocks();
+        let mut two = MemorySystem::new(cfg);
+        let t2 = two
+            .service_batch(vec![
+                MemRequest::GatherFim {
+                    row: row_a,
+                    offsets: (0..8).collect(),
+                    region: Region::Other,
+                },
+                MemRequest::GatherFim {
+                    row: row_b,
+                    offsets: (0..8).collect(),
+                    region: Region::Other,
+                },
+            ])
+            .elapsed_clocks();
+        assert!(
+            t2 < 2 * t1,
+            "two overlapped gathers ({t2}) should beat 2x one gather ({t1})"
+        );
+    }
+
+    #[test]
+    fn nmp_gather_is_slower_than_fim_gather_at_scale() {
+        // With many gathers spread over the banks of one rank, rank-level serialization
+        // should make NMP slower than Piccolo-FIM.
+        let cfg = DramConfig::new(crate::config::MemoryKind::Ddr4X16, 1, 1).with_fim();
+        let mapper = AddressMapper::new(&cfg);
+        let rows: Vec<RowId> = (0..64u64)
+            .map(|i| mapper.row_id(i * cfg.org.row_bytes * 2))
+            .collect();
+        let mut fim = MemorySystem::new(cfg);
+        let t_fim = fim
+            .service_batch(rows.iter().map(|&row| MemRequest::GatherFim {
+                row,
+                offsets: (0..8).collect(),
+                region: Region::Other,
+            }))
+            .elapsed_clocks();
+        let mut nmp = MemorySystem::new(cfg);
+        let t_nmp = nmp
+            .service_batch(rows.iter().map(|&row| MemRequest::GatherNmp {
+                row,
+                offsets: (0..8).collect(),
+                region: Region::Other,
+            }))
+            .elapsed_clocks();
+        assert!(
+            t_nmp > t_fim,
+            "NMP ({t_nmp}) should be slower than FIM ({t_fim})"
+        );
+    }
+
+    #[test]
+    fn pim_updates_have_no_offchip_traffic() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        mem.service_batch((0..32u64).map(|i| MemRequest::PimUpdate {
+            addr: i * 8,
+            region: Region::PropertyRandom,
+        }));
+        assert_eq!(mem.stats().offchip_bytes, 0);
+        assert_eq!(mem.stats().pim_updates, 32);
+        assert!(mem.stats().internal_bytes > 0);
+    }
+
+    #[test]
+    fn more_ranks_reduce_random_access_time() {
+        let one_rank = DramConfig::new(crate::config::MemoryKind::Ddr4X16, 1, 1);
+        let four_rank = DramConfig::new(crate::config::MemoryKind::Ddr4X16, 1, 4);
+        let pattern: Vec<MemRequest> = (0..512u64)
+            .map(|i| read(((i * 2654435761) % (1 << 22)) * 4096))
+            .collect();
+        let mut m1 = MemorySystem::new(one_rank);
+        let t1 = m1.service_batch(pattern.clone()).elapsed_clocks();
+        let mut m4 = MemorySystem::new(four_rank);
+        let t4 = m4.service_batch(pattern).elapsed_clocks();
+        assert!(t4 < t1, "4 ranks ({t4}) should beat 1 rank ({t1})");
+    }
+
+    #[test]
+    fn time_advances_monotonically_across_batches() {
+        let mut mem = MemorySystem::new(DramConfig::default());
+        let b1 = mem.service_batch((0..16u64).map(|i| read(i * 64)));
+        let b2 = mem.service_batch((0..16u64).map(|i| read(i * 64)));
+        assert!(b2.start_clock >= b1.end_clock);
+        assert!(mem.now_ns() > 0.0);
+    }
+}

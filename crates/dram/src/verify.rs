@@ -1,0 +1,224 @@
+//! Timing-legality checker for command traces.
+//!
+//! The paper validates Piccolo-FIM's commanding against the DDR4 standard on an FPGA
+//! (Section VII-B). Our substitute is this checker: with tracing enabled, every command
+//! the model issues is recorded and then checked against the configured timing
+//! constraints. The property tests in `tests/timing.rs` drive random request mixes through
+//! the model and assert that no constraint is ever violated.
+
+use crate::config::DramConfig;
+use crate::system::{CommandKind, CommandRecord};
+use std::collections::HashMap;
+
+/// A single detected violation of a timing constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Human-readable description of the violated constraint.
+    pub constraint: String,
+    /// The command that violated it.
+    pub command: CommandRecord,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at t={} (bank {}/{}/{})",
+            self.constraint, self.command.time, self.command.channel, self.command.rank,
+            self.command.bank)
+    }
+}
+
+/// Checks a command trace against the timing parameters of `cfg`.
+///
+/// Verified constraints: `tRC`/`tRRD`/`tFAW` between activations, `tRP` after precharge,
+/// `tRCD` before column commands, `tRAS`/`tRTP`/`tWR` before precharge, and exclusive use
+/// of each channel's data bus.
+pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> {
+    let t = &cfg.timing;
+    let mut violations = Vec::new();
+
+    #[derive(Default, Clone)]
+    struct BankHist {
+        last_act: Option<u64>,
+        last_pre: Option<u64>,
+        last_rd: Option<u64>,
+        last_wr_data_end: Option<u64>,
+    }
+    let mut banks: HashMap<(u32, u32, u32), BankHist> = HashMap::new();
+    let mut rank_acts: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    let mut bus_intervals: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+
+    let mut sorted: Vec<&CommandRecord> = trace.iter().collect();
+    sorted.sort_by_key(|r| r.time);
+
+    for rec in sorted {
+        let bkey = (rec.channel, rec.rank, rec.bank);
+        let hist = banks.entry(bkey).or_default();
+        match rec.kind {
+            CommandKind::Act => {
+                if let Some(prev) = hist.last_act {
+                    if rec.time < prev + t.t_rc {
+                        violations.push(Violation {
+                            constraint: format!("tRC: ACT-to-ACT {} < {}", rec.time - prev, t.t_rc),
+                            command: *rec,
+                        });
+                    }
+                }
+                if let Some(pre) = hist.last_pre {
+                    if rec.time < pre + t.t_rp {
+                        violations.push(Violation {
+                            constraint: format!("tRP: PRE-to-ACT {} < {}", rec.time - pre, t.t_rp),
+                            command: *rec,
+                        });
+                    }
+                }
+                let acts = rank_acts.entry((rec.channel, rec.rank)).or_default();
+                if let Some(&last) = acts.last() {
+                    if rec.time < last + t.t_rrd {
+                        violations.push(Violation {
+                            constraint: format!("tRRD: ACT-to-ACT {} < {}", rec.time - last, t.t_rrd),
+                            command: *rec,
+                        });
+                    }
+                }
+                if acts.len() >= 4 {
+                    let fourth = acts[acts.len() - 4];
+                    if rec.time < fourth + t.t_faw {
+                        violations.push(Violation {
+                            constraint: format!("tFAW: 5th ACT within {} < {}", rec.time - fourth, t.t_faw),
+                            command: *rec,
+                        });
+                    }
+                }
+                acts.push(rec.time);
+                hist.last_act = Some(rec.time);
+            }
+            CommandKind::Pre => {
+                if let Some(act) = hist.last_act {
+                    if rec.time < act + t.t_ras {
+                        violations.push(Violation {
+                            constraint: format!("tRAS: ACT-to-PRE {} < {}", rec.time - act, t.t_ras),
+                            command: *rec,
+                        });
+                    }
+                }
+                if let Some(rd) = hist.last_rd {
+                    if rec.time < rd + t.t_rtp {
+                        violations.push(Violation {
+                            constraint: format!("tRTP: RD-to-PRE {} < {}", rec.time - rd, t.t_rtp),
+                            command: *rec,
+                        });
+                    }
+                }
+                if let Some(wr_end) = hist.last_wr_data_end {
+                    if rec.time < wr_end + t.t_wr {
+                        violations.push(Violation {
+                            constraint: format!(
+                                "tWR: write-data-to-PRE {} < {}",
+                                rec.time.saturating_sub(wr_end),
+                                t.t_wr
+                            ),
+                            command: *rec,
+                        });
+                    }
+                }
+                hist.last_pre = Some(rec.time);
+            }
+            CommandKind::Rd | CommandKind::Wr => {
+                if let Some(act) = hist.last_act {
+                    if rec.time < act + t.t_rcd {
+                        violations.push(Violation {
+                            constraint: format!("tRCD: ACT-to-column {} < {}", rec.time - act, t.t_rcd),
+                            command: *rec,
+                        });
+                    }
+                } else {
+                    violations.push(Violation {
+                        constraint: "column command without prior ACT".to_string(),
+                        command: *rec,
+                    });
+                }
+                if rec.kind == CommandKind::Rd {
+                    hist.last_rd = Some(rec.time);
+                } else {
+                    hist.last_wr_data_end = Some(rec.bus.1);
+                }
+                bus_intervals
+                    .entry(rec.channel)
+                    .or_default()
+                    .push(rec.bus);
+            }
+        }
+    }
+
+    // Data-bus exclusivity per channel.
+    for (channel, mut intervals) in bus_intervals {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            let (_, end_a) = w[0];
+            let (start_b, _) = w[1];
+            if start_b < end_a {
+                violations.push(Violation {
+                    constraint: format!(
+                        "data-bus overlap on channel {channel}: burst starting at {start_b} overlaps one ending at {end_a}"
+                    ),
+                    command: CommandRecord {
+                        time: start_b,
+                        kind: CommandKind::Rd,
+                        channel,
+                        rank: 0,
+                        bank: 0,
+                        row: 0,
+                        bus: (start_b, end_a),
+                    },
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{MemRequest, Region};
+    use crate::system::MemorySystem;
+
+    #[test]
+    fn clean_trace_has_no_violations() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        mem.enable_trace();
+        mem.service_batch((0..200u64).map(|i| MemRequest::read(i * 4096, Region::Other)));
+        let v = check_trace(mem.config(), mem.trace().unwrap());
+        assert!(v.is_empty(), "violations: {:?}", &v[..v.len().min(5)]);
+    }
+
+    #[test]
+    fn detector_catches_fabricated_violation() {
+        let cfg = DramConfig::ddr4_2400_x16();
+        let trace = vec![
+            CommandRecord {
+                time: 0,
+                kind: CommandKind::Act,
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row: 1,
+                bus: (0, 0),
+            },
+            CommandRecord {
+                time: 2, // far below tRCD
+                kind: CommandKind::Rd,
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row: 0,
+                bus: (18, 22),
+            },
+        ];
+        let v = check_trace(&cfg, &trace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].constraint.contains("tRCD"));
+        assert!(v[0].to_string().contains("tRCD"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based timing tests: arbitrary request mixes must never violate DDR timing
+//! constraints, and higher-level invariants (traffic accounting, monotonic time) must
+//! hold. This is the software stand-in for the paper's FPGA protocol validation
+//! (Section VII-B).
+
+use piccolo_dram::{
+    check_trace, AddressMapper, DramConfig, MemRequest, MemoryKind, MemorySystem, Region,
+};
+use proptest::prelude::*;
+
+/// Strategy generating an arbitrary mix of reads, writes, FIM, NMP and PIM requests.
+fn arb_requests(cfg: DramConfig) -> impl Strategy<Value = Vec<MemRequest>> {
+    let mapper = AddressMapper::new(&cfg);
+    let addr_space = 1u64 << 28;
+    proptest::collection::vec(
+        (0u8..7, 0u64..addr_space, 1usize..=8),
+        1..200,
+    )
+    .prop_map(move |entries| {
+        entries
+            .into_iter()
+            .map(|(kind, addr, items)| {
+                let addr = addr & !7; // 8-byte aligned
+                let row = mapper.row_id(addr);
+                let offsets: Vec<u16> = (0..items as u16).collect();
+                match kind {
+                    0 | 1 => MemRequest::Read {
+                        addr,
+                        useful_bytes: 8,
+                        region: Region::PropertyRandom,
+                    },
+                    2 => MemRequest::Write {
+                        addr,
+                        useful_bytes: 8,
+                        region: Region::PropertyRandom,
+                    },
+                    3 => MemRequest::GatherFim {
+                        row,
+                        offsets,
+                        region: Region::PropertyRandom,
+                    },
+                    4 => MemRequest::ScatterFim {
+                        row,
+                        offsets,
+                        region: Region::PropertyRandom,
+                    },
+                    5 => MemRequest::GatherNmp {
+                        row,
+                        offsets,
+                        region: Region::PropertyRandom,
+                    },
+                    _ => MemRequest::PimUpdate {
+                        addr,
+                        region: Region::PropertyRandom,
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No request mix may produce a command trace that violates DDR timing constraints.
+    #[test]
+    fn timing_constraints_hold_for_arbitrary_mixes(reqs in arb_requests(DramConfig::ddr4_2400_x16().with_fim())) {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16().with_fim());
+        mem.enable_trace();
+        mem.service_batch(reqs);
+        let violations = check_trace(mem.config(), mem.trace().unwrap());
+        prop_assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+    }
+
+    /// The same holds for a single-channel single-rank configuration where contention is
+    /// maximal.
+    #[test]
+    fn timing_constraints_hold_on_minimal_config(reqs in arb_requests(DramConfig::new(MemoryKind::Ddr4X16, 1, 1).with_fim())) {
+        let mut mem = MemorySystem::new(DramConfig::new(MemoryKind::Ddr4X16, 1, 1).with_fim());
+        mem.enable_trace();
+        mem.service_batch(reqs);
+        let violations = check_trace(mem.config(), mem.trace().unwrap());
+        prop_assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+    }
+
+    /// Useful bytes never exceed transferred bytes, and time is monotonic.
+    #[test]
+    fn traffic_accounting_is_consistent(reqs in arb_requests(DramConfig::ddr4_2400_x16().with_fim())) {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16().with_fim());
+        let n = reqs.len() as u64;
+        let batch = mem.service_batch(reqs);
+        prop_assert_eq!(batch.requests, n);
+        prop_assert!(batch.end_clock >= batch.start_clock);
+        let s = mem.stats();
+        prop_assert!(s.useful_offchip_bytes <= s.offchip_bytes);
+        prop_assert!(s.row_hits + s.row_misses >= n);
+    }
+
+    /// Servicing requests in two batches takes at least as long as one batch (no lost
+    /// work), and produces identical traffic counters.
+    #[test]
+    fn batching_does_not_change_traffic(reqs in arb_requests(DramConfig::ddr4_2400_x16())) {
+        let mut one = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        one.service_batch(reqs.clone());
+        let mut two = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        let mid = reqs.len() / 2;
+        two.service_batch(reqs[..mid].to_vec());
+        two.service_batch(reqs[mid..].to_vec());
+        prop_assert_eq!(one.stats().offchip_bytes, two.stats().offchip_bytes);
+        prop_assert_eq!(one.stats().read_transactions, two.stats().read_transactions);
+        prop_assert_eq!(one.stats().write_transactions, two.stats().write_transactions);
+        // Note: elapsed time is *not* compared — the FR-FCFS window reorders requests, so
+        // the makespan of one large batch is not necessarily shorter than two halves.
+    }
+}
+
+#[test]
+fn fim_microbenchmark_speedup_is_close_to_4x_in_row() {
+    // Fig. 9a: reading strided 8 B items that all sit in open rows approaches the
+    // theoretical 4x bandwidth gain at stride 8 (64 B between items).
+    let cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4);
+    let mapper = AddressMapper::new(&cfg);
+    let items = 4096u64;
+    let stride_bytes = 64u64;
+
+    // Conventional: one 64 B read per 8 B item.
+    let mut conv = MemorySystem::new(cfg);
+    let t_conv = conv
+        .service_batch((0..items).map(|i| MemRequest::Read {
+            addr: i * stride_bytes,
+            useful_bytes: 8,
+            region: Region::Other,
+        }))
+        .elapsed_clocks();
+
+    // Piccolo: gather 8 items per FIM op, grouped by row.
+    let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
+    let mut fim = MemorySystem::new(fim_cfg);
+    let mut by_row: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+    let mut order = Vec::new();
+    for i in 0..items {
+        let addr = i * stride_bytes;
+        let row = mapper.row_id(addr);
+        let entry = by_row.entry(row).or_insert_with(|| {
+            order.push(row);
+            Vec::new()
+        });
+        entry.push(mapper.decompose(addr).word_offset());
+    }
+    let mut reqs = Vec::new();
+    for row in order {
+        for chunk in by_row[&row].chunks(8) {
+            reqs.push(MemRequest::GatherFim {
+                row,
+                offsets: chunk.to_vec(),
+                region: Region::Other,
+            });
+        }
+    }
+    let t_fim = fim.service_batch(reqs).elapsed_clocks();
+
+    let speedup = t_conv as f64 / t_fim as f64;
+    assert!(
+        speedup > 2.0 && speedup < 4.5,
+        "in-row strided gather speedup should be near 4x, got {speedup:.2} ({t_conv} vs {t_fim})"
+    );
+}

@@ -1,0 +1,222 @@
+//! A compact fixed-size bit set used for active-vertex tracking.
+
+/// A fixed-capacity bit set over `0..len`.
+///
+/// The simulator uses this for active-vertex sets (Algorithm 1 of the paper) and for
+/// visited markers inside reference algorithm implementations.
+///
+/// # Example
+///
+/// ```
+/// use piccolo_graph::BitSet;
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(4));
+/// assert_eq!(s.count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bit set with capacity for `len` elements (`0..len`).
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of elements the set can hold (`0..len`).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `idx` into the set. Returns `true` if the element was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity()`.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitset index {idx} out of range {}", self.len);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        let newly = self.words[w] & b == 0;
+        self.words[w] |= b;
+        newly
+    }
+
+    /// Removes `idx` from the set. Returns `true` if the element was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity()`.
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitset index {idx} out of range {}", self.len);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        let present = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        present
+    }
+
+    /// Returns `true` if `idx` is in the set. Out-of-range indices return `false`.
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of elements currently in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Sets all of `0..capacity()`.
+    pub fn fill(&mut self) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let remaining = self.len.saturating_sub(i * 64);
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else if remaining == 0 {
+                0
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a bit set sized to hold the maximum element of the iterator.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is not new");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 199, 64, 63, 0] {
+            s.insert(i);
+        }
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn fill_and_clear() {
+        let mut s = BitSet::new(70);
+        s.fill();
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [1usize, 2, 10].into_iter().collect();
+        assert_eq!(s.capacity(), 11);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+}

@@ -1,0 +1,322 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The paper's accelerators stream the graph topology in CSR form: a row-offset array
+//! proportional to `|V|` and a column-index (+ weight) array proportional to `|E|`
+//! (Section II-B). This module provides the push-oriented (out-edge) CSR plus an optional
+//! transpose for pull-style traversal, and per-tile CSR slicing used by the tiling
+//! accelerators.
+
+use crate::{Edge, EdgeList, VertexId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// A directed graph in compressed sparse row form, ordered by source vertex.
+///
+/// # Example
+///
+/// ```
+/// use piccolo_graph::{Csr, Edge, EdgeList};
+/// let mut el = EdgeList::new(3);
+/// el.push(Edge::new(0, 1, 10));
+/// el.push(Edge::new(0, 2, 20));
+/// el.push(Edge::new(2, 0, 5));
+/// let g = Csr::from_edge_list(&el);
+/// assert_eq!(g.out_degree(0), 2);
+/// let neighbors: Vec<u32> = g.neighbors(0).map(|(v, _)| v).collect();
+/// assert_eq!(neighbors, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `row_offsets[v]..row_offsets[v + 1]` indexes the out-edges of `v`.
+    row_offsets: Vec<u64>,
+    /// Destination vertex per edge.
+    col_indices: Vec<VertexId>,
+    /// Weight per edge, parallel to `col_indices`.
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. Edges are sorted by `(src, dst)`.
+    pub fn from_edge_list(edges: &EdgeList) -> Self {
+        let n = edges.num_vertices() as usize;
+        let mut sorted: Vec<Edge> = edges.edges().to_vec();
+        sorted.sort_unstable_by_key(|e| (e.src, e.dst));
+
+        let mut row_offsets = vec![0u64; n + 1];
+        for e in &sorted {
+            row_offsets[e.src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let col_indices = sorted.iter().map(|e| e.dst).collect();
+        let weights = sorted.iter().map(|e| e.weight).collect();
+        Self {
+            row_offsets,
+            col_indices,
+            weights,
+        }
+    }
+
+    /// Builds a CSR directly from raw arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (offsets not monotone, lengths mismatch, or
+    /// a column index out of range).
+    pub fn from_raw(row_offsets: Vec<u64>, col_indices: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+        assert!(!row_offsets.is_empty(), "row_offsets must have at least one entry");
+        assert_eq!(col_indices.len(), weights.len(), "col/weight length mismatch");
+        assert_eq!(
+            *row_offsets.last().unwrap() as usize,
+            col_indices.len(),
+            "last row offset must equal edge count"
+        );
+        assert!(
+            row_offsets.windows(2).all(|w| w[0] <= w[1]),
+            "row offsets must be monotone"
+        );
+        let n = (row_offsets.len() - 1) as u32;
+        assert!(
+            col_indices.iter().all(|&c| c < n),
+            "column index out of range"
+        );
+        Self {
+            row_offsets,
+            col_indices,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.row_offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.col_indices.len() as u64
+    }
+
+    /// Average out-degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: VertexId) -> u64 {
+        let v = v as usize;
+        self.row_offsets[v + 1] - self.row_offsets[v]
+    }
+
+    /// The row offset array (length `|V| + 1`).
+    pub fn row_offsets(&self) -> &[u64] {
+        &self.row_offsets
+    }
+
+    /// The column index array (length `|E|`).
+    pub fn col_indices(&self) -> &[VertexId] {
+        &self.col_indices
+    }
+
+    /// The edge weight array (length `|E|`).
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Iterates over `(dst, weight)` out-neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        let v = v as usize;
+        let start = self.row_offsets[v] as usize;
+        let end = self.row_offsets[v + 1] as usize;
+        Neighbors {
+            cols: &self.col_indices[start..end],
+            weights: &self.weights[start..end],
+            idx: 0,
+        }
+    }
+
+    /// Iterates over the edge indices (positions in the column array) of `v`'s out-edges.
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<u64> {
+        let v = v as usize;
+        self.row_offsets[v]..self.row_offsets[v + 1]
+    }
+
+    /// Iterates over all edges as [`Edge`] values in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .map(move |(v, w)| Edge::new(u, v, w))
+        })
+    }
+
+    /// Returns the transposed graph (in-edges become out-edges).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut el = EdgeList::new(n);
+        for e in self.iter_edges() {
+            el.push(Edge::new(e.dst, e.src, e.weight));
+        }
+        Csr::from_edge_list(&el)
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> u64 {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Counts, per destination-interval tile of width `tile_width`, how many edges land in
+    /// each tile. Useful for sizing tiled CSR slices.
+    pub fn edges_per_tile(&self, tile_width: u32) -> Vec<u64> {
+        assert!(tile_width > 0, "tile width must be positive");
+        let tiles = (self.num_vertices() as u64).div_ceil(tile_width as u64) as usize;
+        let mut counts = vec![0u64; tiles.max(1)];
+        for &dst in &self.col_indices {
+            counts[(dst / tile_width) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Extracts the sub-CSR restricted to destination vertices in `dst_range`, following
+    /// the tiling structure of Algorithm 1 (line 1/3): sources keep their ids, only edges
+    /// whose destination lies in the range are retained.
+    pub fn tile_slice(&self, dst_range: std::ops::Range<VertexId>) -> Csr {
+        let n = self.num_vertices();
+        let mut el = EdgeList::new(n);
+        for e in self.iter_edges() {
+            if e.dst >= dst_range.start && e.dst < dst_range.end {
+                el.push(e);
+            }
+        }
+        Csr::from_edge_list(&el)
+    }
+}
+
+/// Iterator over `(dst, weight)` pairs produced by [`Csr::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    cols: &'a [VertexId],
+    weights: &'a [Weight],
+    idx: usize,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = (VertexId, Weight);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx < self.cols.len() {
+            let item = (self.cols[self.idx], self.weights[self.idx]);
+            self.idx += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cols.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        let mut el = EdgeList::new(5);
+        for (s, d, w) in [(0, 1, 1), (0, 4, 2), (1, 2, 3), (3, 0, 4), (3, 4, 5), (4, 3, 6)] {
+            el.push(Edge::new(s, d, w));
+        }
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = small();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_destination() {
+        let g = small();
+        let n: Vec<_> = g.neighbors(3).collect();
+        assert_eq!(n, vec![(0, 4), (4, 5)]);
+        assert_eq!(g.neighbors(3).len(), 2);
+    }
+
+    #[test]
+    fn transpose_roundtrip_preserves_edges() {
+        let g = small();
+        let tt = g.transpose().transpose();
+        let mut a: Vec<Edge> = g.iter_edges().collect();
+        let mut b: Vec<Edge> = tt.iter_edges().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tile_slice_keeps_only_in_range_destinations() {
+        let g = small();
+        let slice = g.tile_slice(0..2);
+        assert_eq!(slice.num_vertices(), 5);
+        let edges: Vec<Edge> = slice.iter_edges().collect();
+        assert!(edges.iter().all(|e| e.dst < 2));
+        assert_eq!(edges.len(), 2); // (0,1) and (3,0)
+    }
+
+    #[test]
+    fn edges_per_tile_sums_to_total() {
+        let g = small();
+        let per_tile = g.edges_per_tile(2);
+        assert_eq!(per_tile.iter().sum::<u64>(), g.num_edges());
+        assert_eq!(per_tile.len(), 3);
+    }
+
+    #[test]
+    fn from_raw_validates_and_matches_builder() {
+        let g = small();
+        let g2 = Csr::from_raw(
+            g.row_offsets().to_vec(),
+            g.col_indices().to_vec(),
+            g.weights().to_vec(),
+        );
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_bad_offsets() {
+        Csr::from_raw(vec![0, 2, 1], vec![0, 0], vec![1, 1]);
+    }
+
+    #[test]
+    fn edge_range_matches_degree() {
+        let g = small();
+        assert_eq!(g.edge_range(0), 0..2);
+        let r = g.edge_range(2);
+        assert_eq!(r.end - r.start, g.out_degree(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the graph substrate.
+
+use piccolo_graph::{generate, BitSet, Edge, EdgeList, Tiling};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small edge list.
+fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
+    (2u32..200).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0u32..256), 0..400).prop_map(move |edges| {
+            let mut el = EdgeList::new(n);
+            for (s, d, w) in edges {
+                el.push(Edge::new(s, d, w));
+            }
+            el
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction preserves the (deduplicated) edge multiset when built from a
+    /// cleaned edge list.
+    #[test]
+    fn csr_preserves_edges(mut el in arb_edge_list()) {
+        el.dedup_and_clean();
+        let csr = el.to_csr();
+        prop_assert_eq!(csr.num_edges() as usize, el.num_edges());
+        let mut from_csr: Vec<Edge> = csr.iter_edges().collect();
+        let mut from_el: Vec<Edge> = el.edges().to_vec();
+        from_csr.sort();
+        from_el.sort();
+        prop_assert_eq!(from_csr, from_el);
+    }
+
+    /// Row offsets are monotone and the degree sum equals the edge count.
+    #[test]
+    fn csr_row_offsets_monotone(el in arb_edge_list()) {
+        let csr = el.to_csr();
+        prop_assert!(csr.row_offsets().windows(2).all(|w| w[0] <= w[1]));
+        let degree_sum: u64 = (0..csr.num_vertices()).map(|v| csr.out_degree(v)).sum();
+        prop_assert_eq!(degree_sum, csr.num_edges());
+    }
+
+    /// Transposition is an involution on the edge multiset.
+    #[test]
+    fn transpose_involution(mut el in arb_edge_list()) {
+        el.dedup_and_clean();
+        let csr = el.to_csr();
+        let round = csr.transpose().transpose();
+        let mut a: Vec<Edge> = csr.iter_edges().collect();
+        let mut b: Vec<Edge> = round.iter_edges().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every tile-sliced sub-graph partitions the edges: the union over all tiles equals
+    /// the full edge set and the slices are disjoint.
+    #[test]
+    fn tiling_partitions_edges(mut el in arb_edge_list(), width in 1u32..64) {
+        el.dedup_and_clean();
+        let csr = el.to_csr();
+        let tiling = Tiling::by_tile_width(csr.num_vertices(), width);
+        let mut total = 0u64;
+        for tile in tiling.iter() {
+            let slice = csr.tile_slice(tile.range());
+            prop_assert!(slice.iter_edges().all(|e| tile.contains(e.dst)));
+            total += slice.num_edges();
+        }
+        prop_assert_eq!(total, csr.num_edges());
+    }
+
+    /// `edges_per_tile` agrees with the slices.
+    #[test]
+    fn edges_per_tile_agrees_with_slices(mut el in arb_edge_list(), width in 1u32..64) {
+        el.dedup_and_clean();
+        let csr = el.to_csr();
+        let counts = csr.edges_per_tile(width);
+        let tiling = Tiling::by_tile_width(csr.num_vertices(), width);
+        for (i, tile) in tiling.iter().enumerate() {
+            prop_assert_eq!(counts[i], csr.tile_slice(tile.range()).num_edges());
+        }
+    }
+
+    /// The bitset behaves like a reference `HashSet` under a sequence of inserts/removes.
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..300)) {
+        let mut bs = BitSet::new(500);
+        let mut hs = std::collections::HashSet::new();
+        for (idx, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(idx), hs.insert(idx));
+            } else {
+                prop_assert_eq!(bs.remove(idx), hs.remove(&idx));
+            }
+        }
+        prop_assert_eq!(bs.count(), hs.len());
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    /// Watts–Strogatz always produces exactly n*k edges and no self loops.
+    #[test]
+    fn ws_edge_count(scale in 5u32..9, k in 1u32..5, beta in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generate::watts_strogatz(scale, k, beta, seed);
+        prop_assert_eq!(g.num_edges(), (1u64 << scale) * k as u64);
+        prop_assert!(g.iter_edges().all(|e| e.src != e.dst));
+    }
+
+    /// Kronecker graphs stay within the vertex-id range and below the edge target.
+    #[test]
+    fn kronecker_bounds(scale in 5u32..10, deg in 1u32..8, seed in any::<u64>()) {
+        let g = generate::kronecker(scale, deg, seed);
+        let n = 1u32 << scale;
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert!(g.num_edges() <= n as u64 * deg as u64);
+        prop_assert!(g.iter_edges().all(|e| e.src < n && e.dst < n));
+    }
+}

@@ -1,0 +1,25 @@
+//! Memory design-space exploration (Figs. 15-17 in miniature): memory type, channel/rank
+//! count and tile-size sensitivity of Piccolo vs the baseline on one dataset.
+//!
+//! Run with: `cargo run --release --example memory_design_space`
+
+use piccolo::experiments::{fig15, fig16, fig17, Scale};
+use piccolo_algo::Algorithm;
+use piccolo_graph::Dataset;
+
+fn main() {
+    let scale = Scale { scale_shift: 13, seed: 7, max_iterations: 3 };
+    let algs = [Algorithm::PageRank];
+    println!("-- memory type sensitivity (cycles) --");
+    for p in fig15(scale, Dataset::Sinaweibo, &algs) {
+        println!("{p}");
+    }
+    println!("\n-- channel/rank sensitivity (cycles) --");
+    for p in fig16(scale, Dataset::Sinaweibo, &algs) {
+        println!("{p}");
+    }
+    println!("\n-- tile-size sensitivity (normalized cycles) --");
+    for p in fig17(scale, Dataset::Sinaweibo, &algs) {
+        println!("{p}");
+    }
+}

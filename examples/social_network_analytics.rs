@@ -1,0 +1,39 @@
+//! Social-network analytics scenario: PageRank and Connected Components on stand-ins of
+//! the paper's social graphs (Sinaweibo, Friendster), comparing every evaluated system.
+//!
+//! Run with: `cargo run --release --example social_network_analytics`
+
+use piccolo::{SimConfig, Simulation, SystemKind};
+use piccolo_algo::{ConnectedComponents, PageRank};
+use piccolo_graph::Dataset;
+
+fn main() {
+    for dataset in [Dataset::Sinaweibo, Dataset::Friendster] {
+        let graph = dataset.build(13, 7);
+        println!(
+            "== {} stand-in: {} vertices, {} edges ==",
+            dataset.short_name(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        let mut baseline_cycles = 0u64;
+        for system in SystemKind::ALL {
+            let sim = Simulation::with_config(
+                SimConfig::for_system(system, 13).with_max_iterations(5),
+            );
+            let pr = sim.run(&graph, &PageRank::default());
+            let cc = sim.run(&graph, &ConnectedComponents::new());
+            let total = pr.run.accel_cycles + cc.run.accel_cycles;
+            if system == SystemKind::GraphDynsCache {
+                baseline_cycles = total;
+            }
+            println!(
+                "  {:<18} PR+CC cycles {:>12}   speedup vs cache baseline {:>5.2}x",
+                system.name(),
+                total,
+                baseline_cycles as f64 / total as f64
+            );
+        }
+        println!();
+    }
+}

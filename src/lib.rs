@@ -1,0 +1,3 @@
+//! Workspace-level umbrella crate: re-exports the public API of the Piccolo reproduction
+//! for the examples and integration tests at the repository root.
+pub use piccolo::{Simulation, SystemKind};

@@ -1,0 +1,70 @@
+//! Workspace-level integration tests spanning every crate: graphs -> algorithms ->
+//! caches/MSHR -> DRAM -> end-to-end reports.
+
+use piccolo::{Simulation, SystemKind};
+use piccolo_algo::{reference, run_vcm, Bfs, PageRank, Sssp};
+use piccolo_graph::{generate, Dataset};
+
+#[test]
+fn piccolo_outperforms_baseline_on_sparse_workload() {
+    let graph = generate::kronecker(13, 8, 21);
+    let base = Simulation::new(SystemKind::GraphDynsCache)
+        .configure(|c| c.with_max_iterations(40))
+        .run(&graph, &Sssp::new(0));
+    let pic = Simulation::new(SystemKind::Piccolo)
+        .configure(|c| c.with_max_iterations(40))
+        .run(&graph, &Sssp::new(0));
+    assert!(
+        pic.speedup_over(&base) > 1.0,
+        "Piccolo speedup {:.2} should exceed 1.0",
+        pic.speedup_over(&base)
+    );
+    assert!(pic.run.mem_stats.offchip_bytes < base.run.mem_stats.offchip_bytes);
+    assert!(pic.energy_ratio_over(&base) < 1.0);
+}
+
+#[test]
+fn all_systems_agree_on_functional_results() {
+    // The simulator executes the algorithm functionally, so its iteration count matches
+    // the plain functional driver regardless of the simulated system.
+    let graph = Dataset::UciUni.build(14, 5);
+    let expected = run_vcm(&graph, &Bfs::new(0), 40);
+    for system in SystemKind::ALL {
+        let r = Simulation::new(system)
+            .configure(|c| c.with_max_iterations(40))
+            .run(&graph, &Bfs::new(0));
+        assert_eq!(r.run.iterations, expected.iterations, "{}", system.name());
+        assert_eq!(
+            r.run.edges_processed,
+            expected.total_edges_traversed(),
+            "{}",
+            system.name()
+        );
+    }
+}
+
+#[test]
+fn dataset_standins_run_pagerank_and_match_reference_shape() {
+    let graph = Dataset::Sinaweibo.build(14, 9);
+    // epsilon = 0 keeps every vertex active so both sides run exactly 15 iterations.
+    let pr = PageRank { damping: 0.85, epsilon: 0.0 };
+    let vcm = run_vcm(&graph, &pr, 15);
+    let ranks = pr.ranks(&graph, vcm.props.as_slice());
+    let reference = reference::pagerank(&graph, 0.85, 15);
+    for v in 0..graph.num_vertices() as usize {
+        assert!((ranks[v] - reference[v]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn energy_and_area_reports_are_consistent() {
+    let a = piccolo::area_report();
+    assert!(a.piccolo_accelerator_mm2 > a.baseline_accelerator_mm2);
+    let graph = generate::uniform(4000, 20_000, 3);
+    let rep = Simulation::new(SystemKind::Piccolo)
+        .configure(|c| c.with_max_iterations(10))
+        .run(&graph, &Bfs::new(0));
+    let e = rep.energy;
+    assert!(e.total_nj() > 0.0);
+    assert!(e.dram_io_nj >= 0.0 && e.others_nj > 0.0);
+}
