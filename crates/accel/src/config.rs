@@ -1,10 +1,9 @@
 //! Accelerator and system-level configuration.
 
 use piccolo_dram::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// The six systems compared in Fig. 10, plus the cache-design variants of Fig. 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Graphicionado: scratchpad + perfect tiling, no active-vertex compaction in the
     /// prefetcher.
@@ -52,7 +51,7 @@ impl SystemKind {
 }
 
 /// Fine-grained cache designs evaluated on top of Piccolo-FIM in Fig. 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheKind {
     /// Conventional 64 B cache.
     Conventional,
@@ -100,7 +99,7 @@ impl CacheKind {
 }
 
 /// Tile-width policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TilingPolicy {
     /// No tiling (a single tile spans all destinations).
     None,
@@ -115,7 +114,7 @@ pub enum TilingPolicy {
 
 /// Accelerator front-end configuration (Section VII-A: 8 PEs x 8-way SIMD at 1 GHz,
 /// 4 MiB cache or 4.5 MiB scratchpad, 4 K-entry collection-extended MSHR).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelConfig {
     /// Number of processing elements.
     pub pes: u32,
@@ -173,7 +172,7 @@ impl Default for AccelConfig {
 }
 
 /// Full simulation configuration for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Which system to simulate.
     pub system: SystemKind,
@@ -200,9 +199,9 @@ impl SimConfig {
     pub fn for_system(system: SystemKind, scale_shift: u32) -> Self {
         let row_bytes = if scale_shift >= 6 { 1024 } else { 8192 };
         let dram = match system {
-            SystemKind::Piccolo | SystemKind::Nmp => {
-                DramConfig::ddr4_2400_x16().with_fim().with_row_bytes(row_bytes)
-            }
+            SystemKind::Piccolo | SystemKind::Nmp => DramConfig::ddr4_2400_x16()
+                .with_fim()
+                .with_row_bytes(row_bytes),
             _ => DramConfig::ddr4_2400_x16().with_row_bytes(row_bytes),
         };
         let accel = AccelConfig::scaled(scale_shift);

@@ -5,193 +5,87 @@
 //! indirection), source properties are read per block, and destination properties are
 //! updated randomly within the block's destination tile — which is where Piccolo-FIM and
 //! Piccolo-cache help, exactly as in the vertex-centric case.
+//!
+//! Everything but the traversal order — grid blocks instead of frontier tiles — is shared
+//! with the vertex-centric engine through [`pipeline`](crate::pipeline).
 
 use crate::config::SimConfig;
-use crate::engine::RunResult;
-use crate::layout::{GraphLayout, EDGE_BYTES, PROP_BYTES};
-use crate::path::MemoryPath;
+use crate::engine::{resolve_tiling, RunResult};
+use crate::layout::{EDGE_BYTES, PROP_BYTES};
+use crate::pipeline::{self, ScatterContext, Traversal};
 use piccolo_algo::edge_centric::GridEdges;
 use piccolo_algo::vcm::VertexProgram;
-use piccolo_dram::{MemRequest, MemorySystem, Region};
-use piccolo_graph::{ActiveSet, BitSet, Csr, VertexProps};
+use piccolo_dram::Region;
+use piccolo_graph::Csr;
 
-/// Emits a sequential stream as 64 B requests.
-fn stream(out: &mut Vec<MemRequest>, base: u64, bytes: u64, write: bool, region: Region) {
-    let bursts = bytes.div_ceil(64);
-    for i in 0..bursts {
-        let addr = (base & !63) + i * 64;
-        out.push(if write {
-            MemRequest::Write {
-                addr,
-                useful_bytes: 64,
-                region,
-            }
-        } else {
-            MemRequest::Read {
-                addr,
-                useful_bytes: 64,
-                region,
-            }
-        });
+/// Edge-centric traversal: every iteration streams all 2-D grid blocks of the edge set.
+///
+/// The destination tile width follows the same on-chip-capacity rule as the
+/// vertex-centric engine; the source tile width is fixed at the same size (square
+/// blocks).
+#[derive(Debug)]
+pub struct EdgeCentric {
+    grid: GridEdges,
+    width: u32,
+}
+
+impl EdgeCentric {
+    /// Partitions `graph` into square grid blocks sized by `cfg`'s tiling rule.
+    pub fn new(graph: &Csr, cfg: &SimConfig) -> Self {
+        let width = resolve_tiling(cfg, graph.num_vertices())
+            .tile_width()
+            .max(1);
+        let grid = GridEdges::new(graph, width, width);
+        Self { grid, width }
     }
 }
 
-/// Runs `program` with edge-centric traversal on the given system configuration.
-///
-/// The destination tile width follows the same on-chip-capacity rule as the vertex-centric
-/// engine; the source tile width is fixed at the same size (square blocks).
-pub fn simulate_edge_centric<P: VertexProgram>(
-    graph: &Csr,
-    program: &P,
-    cfg: &SimConfig,
-) -> RunResult {
-    let n = graph.num_vertices();
-    let layout = GraphLayout::new(graph);
-    let tiling = crate::engine::resolve_tiling(cfg, n);
-    let width = tiling.tile_width().max(1);
-    let grid = GridEdges::new(graph, width, width);
-    let mut path = MemoryPath::new(cfg.system, cfg.cache, &cfg.accel, &cfg.dram);
-    let mut mem = MemorySystem::new(cfg.dram);
-    let mapper = *mem.mapper();
-
-    let mut props = VertexProps::new(n, program.initial_value(0.min(n.saturating_sub(1)), graph));
-    for v in 0..n {
-        props[v] = program.initial_value(v, graph);
+impl<P: VertexProgram> Traversal<P> for EdgeCentric {
+    fn shape(&self) -> (u32, u32) {
+        (self.width, self.grid.num_blocks() as u32)
     }
-    let mut active = program.initial_active(graph);
 
-    let mut accel_cycles = 0u64;
-    let mut compute_cycles = 0u64;
-    let mut total_mem_clocks = 0u64;
-    let mut edges_processed = 0u64;
-    let mut iterations = 0u32;
-    let all_active = program.algorithm().is_all_active();
-
-    for _ in 0..cfg.max_iterations {
-        if active.is_empty() {
-            break;
-        }
-        iterations += 1;
-        let mut temp = VertexProps::new(n, program.temp_identity(0.min(n.saturating_sub(1)), graph));
-        for v in 0..n {
-            temp[v] = program.temp_identity(v, graph);
-        }
-        let mut touched = BitSet::new(n as usize);
-        let mut iter_mem_clocks = 0u64;
-        let mut iter_edges = 0u64;
-
-        for block in 0..grid.num_blocks() {
-            let edges = grid.block(block);
+    fn scatter(&self, ctx: &mut ScatterContext<'_, P>) {
+        for block in 0..self.grid.num_blocks() {
+            let edges = self.grid.block(block);
             if edges.is_empty() {
                 continue;
             }
-            path.begin_tile(width as u64 * PROP_BYTES);
-            let mut reqs = Vec::new();
+            ctx.begin_chunk(self.width as u64 * PROP_BYTES);
             // The whole block's edges are streamed sequentially every iteration.
-            stream(
-                &mut reqs,
-                layout.columns_base + block * 64,
+            ctx.stream(
+                ctx.layout().columns_base + block * 64,
+                0,
                 edges.len() as u64 * EDGE_BYTES,
                 false,
                 Region::TopologyCol,
             );
             // Source properties of the block's source tile.
-            stream(
-                &mut reqs,
-                layout.vprop_base,
-                width as u64 * PROP_BYTES,
+            ctx.stream(
+                ctx.layout().vprop_base,
+                0,
+                self.width as u64 * PROP_BYTES,
                 false,
                 Region::PropertySequential,
             );
             for e in edges {
-                if !active.contains(e.src) {
+                if !ctx.active().contains(e.src) {
                     continue;
                 }
-                let res = program.process(e.weight, props[e.src]);
-                temp[e.dst] = program.reduce(temp[e.dst], res);
-                touched.insert(e.dst as usize);
-                iter_edges += 1;
-                path.random_access(layout.vtemp_addr(e.dst), true, &mapper, &mut reqs);
+                ctx.process_edge(e.src, e.dst, e.weight);
             }
-            path.end_tile(&mut reqs);
-            iter_mem_clocks += mem.service_batch(reqs).elapsed_clocks();
+            ctx.end_chunk();
         }
-
-        // Apply phase.
-        let mut next_active = ActiveSet::new(n);
-        let mut updated = 0u64;
-        for v in 0..n {
-            let new = program.apply(props[v], temp[v], program.vconst(v, graph));
-            if program.changed(props[v], new) {
-                props[v] = new;
-                next_active.activate(v);
-                updated += 1;
-            }
-        }
-        let mut apply_reqs = Vec::new();
-        if !path.is_scratchpad() {
-            stream(
-                &mut apply_reqs,
-                layout.vtemp_base,
-                touched.count() as u64 * 2 * PROP_BYTES,
-                false,
-                Region::PropertySequential,
-            );
-        }
-        stream(
-            &mut apply_reqs,
-            layout.vprop_base,
-            updated * PROP_BYTES,
-            true,
-            Region::PropertySequential,
-        );
-        if !apply_reqs.is_empty() {
-            iter_mem_clocks += mem.service_batch(apply_reqs).elapsed_clocks();
-        }
-
-        let iter_compute = cfg
-            .accel
-            .compute_cycles(iter_edges, touched.count() as u64 + updated);
-        let iter_mem_cycles = (mem.clocks_to_ns(iter_mem_clocks) * cfg.accel.clock_ghz).ceil() as u64;
-        accel_cycles += if cfg.accel.prefetch {
-            iter_compute.max(iter_mem_cycles)
-        } else {
-            iter_compute + iter_mem_cycles
-        };
-        compute_cycles += iter_compute;
-        total_mem_clocks += iter_mem_clocks;
-        edges_processed += iter_edges;
-
-        active = if all_active && updated > 0 {
-            ActiveSet::all(n)
-        } else if all_active {
-            ActiveSet::new(n)
-        } else {
-            next_active
-        };
     }
+}
 
-    let mut final_reqs = Vec::new();
-    path.finish(&mapper, &mut final_reqs);
-    if !final_reqs.is_empty() {
-        let b = mem.service_batch(final_reqs);
-        total_mem_clocks += b.elapsed_clocks();
-        accel_cycles += (mem.clocks_to_ns(b.elapsed_clocks()) * cfg.accel.clock_ghz) as u64;
-    }
-
-    RunResult {
-        system: cfg.system,
-        accel_cycles,
-        compute_cycles,
-        mem_ns: mem.clocks_to_ns(total_mem_clocks),
-        elapsed_ns: accel_cycles as f64 / cfg.accel.clock_ghz,
-        iterations,
-        edges_processed,
-        mem_stats: *mem.stats(),
-        cache_stats: path.cache_stats(),
-        tile_width: width,
-        num_tiles: grid.num_blocks() as u32,
-    }
+/// Runs `program` with edge-centric traversal on the given system configuration.
+pub fn simulate_edge_centric<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    cfg: &SimConfig,
+) -> RunResult {
+    pipeline::run(graph, program, cfg, &EdgeCentric::new(graph, cfg))
 }
 
 #[cfg(test)]

@@ -1,20 +1,11 @@
-//! The end-to-end simulation engine.
+//! The vertex-centric simulation engine.
 //!
 //! [`simulate`] runs a vertex program on a graph through one of the six evaluated systems
-//! and returns cycle counts plus memory/cache statistics. The engine executes the
-//! algorithm *functionally* (so frontiers and convergence are exact) while generating the
-//! memory-access streams of Algorithm 1, which flow through the system's
-//! [`MemoryPath`](crate::path::MemoryPath) (cache/MSHR/scratchpad/PIM) into the
-//! command-level DRAM model.
-//!
-//! ## Timing model
-//!
-//! Per iteration the engine accumulates the DRAM service time of all generated requests
-//! (per-tile batches) and the PE-array compute time; with prefetching enabled the two
-//! overlap (`max`), without it they serialize (`+`), which reproduces the ~20 % penalty of
-//! Fig. 20b. The graph-processing accelerators the paper builds on are throughput
-//! oriented: per-request latency is hidden by deep prefetch/miss queues, so makespan
-//! rather than per-access latency determines performance.
+//! and returns cycle counts plus memory/cache statistics. All iteration driving, frontier
+//! management and memory-request plumbing lives in the shared [`pipeline`](crate::pipeline)
+//! module; this file contributes only the *vertex-centric traversal order*
+//! ([`VertexCentric`]): destination-interval tiles, per-tile frontier walks over the CSR
+//! slices, and the topology/source-property streams that accompany them.
 //!
 //! ## Modelling simplifications (documented in `DESIGN.md`)
 //!
@@ -27,180 +18,74 @@
 //!   for conventional caches, 8x larger tiles for fine-grained systems); the full sweep
 //!   that justifies those choices is reproduced by the Fig. 17 experiment.
 
-use crate::config::{SimConfig, SystemKind, TilingPolicy};
-use crate::layout::{GraphLayout, EDGE_BYTES, PROP_BYTES, ROW_OFFSET_BYTES};
-use crate::path::MemoryPath;
+use crate::config::SimConfig;
+use crate::layout::{EDGE_BYTES, PROP_BYTES};
+use crate::pipeline::{self, ScatterContext, Traversal};
 use piccolo_algo::vcm::VertexProgram;
-use piccolo_cache::CacheStats;
-use piccolo_dram::{MemRequest, MemStats, MemorySystem, Region};
-use piccolo_graph::{tiling, ActiveSet, BitSet, Csr, Tiling, VertexProps};
-use serde::{Deserialize, Serialize};
+use piccolo_dram::Region;
+use piccolo_graph::{tiling, Csr, Tiling, VertexId};
 
-/// Result of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunResult {
-    /// The simulated system.
-    pub system: SystemKind,
-    /// Total accelerator cycles (at the accelerator clock).
-    pub accel_cycles: u64,
-    /// Cycles spent in the PE array (compute component).
-    pub compute_cycles: u64,
-    /// DRAM busy time in nanoseconds.
-    pub mem_ns: f64,
-    /// Wall-clock of the run in nanoseconds (accelerator cycles / clock).
-    pub elapsed_ns: f64,
-    /// Iterations executed.
-    pub iterations: u32,
-    /// Edges processed across all iterations.
-    pub edges_processed: u64,
-    /// Memory-system statistics.
-    pub mem_stats: MemStats,
-    /// Vertex cache/scratchpad statistics.
-    pub cache_stats: CacheStats,
-    /// Tile width used.
-    pub tile_width: u32,
-    /// Number of tiles.
-    pub num_tiles: u32,
+pub use crate::pipeline::{resolve_tiling, RunResult};
+
+/// Vertex-centric traversal: Algorithm 1's tile-by-tile walk of the active frontier.
+#[derive(Debug)]
+pub struct VertexCentric {
+    tiling: Tiling,
+    tile_slices: Vec<Csr>,
 }
 
-impl RunResult {
-    /// Average off-chip bandwidth in GB/s over the run.
-    pub fn offchip_bandwidth_gbps(&self) -> f64 {
-        if self.elapsed_ns <= 0.0 {
-            0.0
-        } else {
-            self.mem_stats.offchip_bytes as f64 / self.elapsed_ns
-        }
-    }
-
-    /// Average DRAM-internal bandwidth in GB/s over the run (data moved by FIM/NMP/PIM
-    /// operations that never crosses the channel).
-    pub fn internal_bandwidth_gbps(&self) -> f64 {
-        if self.elapsed_ns <= 0.0 {
-            0.0
-        } else {
-            self.mem_stats.internal_bytes as f64 / self.elapsed_ns
+impl VertexCentric {
+    /// Partitions `graph` by the tiling `cfg` resolves to.
+    pub fn new(graph: &Csr, cfg: &SimConfig) -> Self {
+        let tiling = resolve_tiling(cfg, graph.num_vertices());
+        let tile_slices = tiling::partition_csr(graph, &tiling);
+        Self {
+            tiling,
+            tile_slices,
         }
     }
 }
 
-/// Chooses the tiling for a run.
-pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
-    match cfg.tiling {
-        TilingPolicy::None => Tiling::single_tile(num_vertices),
-        TilingPolicy::Perfect => {
-            Tiling::perfect(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32)
-        }
-        TilingPolicy::Scaled(f) => {
-            Tiling::scaled(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32, f)
-        }
-        TilingPolicy::Best => {
-            // Sweet spots found by the Fig. 17 sweep: conventional caches want tiles that
-            // just fit (factor 1-2); fine-grained caches hold only useful sectors and
-            // prefer much larger tiles (factor ~8).
-            let factor = match cfg.system {
-                SystemKind::Nmp | SystemKind::Piccolo => 2,
-                _ => 1,
-            };
-            Tiling::scaled(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32, factor)
-        }
+impl<P: VertexProgram> Traversal<P> for VertexCentric {
+    fn shape(&self) -> (u32, u32) {
+        (self.tiling.tile_width(), self.tiling.num_tiles())
     }
-}
 
-/// Emits `bytes` of sequential stream traffic starting at `base + offset` as 64 B reads
-/// (or writes), marking every byte useful.
-fn stream_requests(
-    out: &mut Vec<MemRequest>,
-    base: u64,
-    offset: u64,
-    bytes: u64,
-    write: bool,
-    region: Region,
-) {
-    if bytes == 0 {
-        return;
-    }
-    let start = (base + offset) & !63;
-    let bursts = bytes.div_ceil(64);
-    for i in 0..bursts {
-        let addr = start + i * 64;
-        out.push(if write {
-            MemRequest::Write {
-                addr,
-                useful_bytes: 64,
-                region,
-            }
-        } else {
-            MemRequest::Read {
-                addr,
-                useful_bytes: 64,
-                region,
-            }
-        });
-    }
-}
-
-/// Emits the per-tile reads of the row-offset and `Vprop` entries of a *sparse* frontier.
-///
-/// When only a small fraction of the vertices is active, these reads are isolated 4/8 B
-/// accesses scattered over large arrays (the situation Fig. 3 illustrates for BFS): a
-/// conventional memory system still fetches a 64 B burst per touched line, whereas
-/// Piccolo/NMP gather up to eight useful words per DRAM row through the same in-memory
-/// scatter/gather machinery used for the destination properties.
-fn sparse_frontier_requests(
-    out: &mut Vec<MemRequest>,
-    addrs: impl Iterator<Item = (u64, u32)>,
-    fine_grained: bool,
-    nmp: bool,
-    mapper: &piccolo_dram::AddressMapper,
-    items_per_op: u32,
-) {
-    if fine_grained {
-        let mut by_row: std::collections::HashMap<piccolo_dram::RowId, Vec<u16>> =
-            std::collections::HashMap::new();
-        let mut order = Vec::new();
-        for (addr, _useful) in addrs {
-            let loc = mapper.decompose(addr);
-            let row = mapper.row_id_of(&loc);
-            let entry = by_row.entry(row).or_insert_with(|| {
-                order.push(row);
-                Vec::new()
-            });
-            let off = loc.word_offset();
-            if !entry.contains(&off) {
-                entry.push(off);
-            }
-        }
-        for row in order {
-            for chunk in by_row[&row].chunks(items_per_op.max(1) as usize) {
-                out.push(if nmp {
-                    MemRequest::GatherNmp {
-                        row,
-                        offsets: chunk.to_vec(),
-                        region: Region::TopologyRow,
-                    }
-                } else {
-                    MemRequest::GatherFim {
-                        row,
-                        offsets: chunk.to_vec(),
-                        region: Region::TopologyRow,
-                    }
-                });
-            }
-        }
-    } else {
-        let mut last_line = u64::MAX;
-        for (addr, useful) in addrs {
-            let line = addr & !63;
-            if line == last_line {
+    fn scatter(&self, ctx: &mut ScatterContext<'_, P>) {
+        let frontier: Vec<VertexId> = ctx.active().iter_sorted().collect();
+        for (tile_idx, tile) in self.tiling.iter().enumerate() {
+            let slice = &self.tile_slices[tile_idx];
+            if slice.num_edges() == 0 {
                 continue;
             }
-            last_line = line;
-            out.push(MemRequest::Read {
-                addr: line,
-                useful_bytes: useful,
-                region: Region::TopologyRow,
-            });
+            ctx.begin_chunk(tile.width() as u64 * PROP_BYTES);
+
+            let mut sources_with_edges = 0u64;
+            let mut edge_bytes = 0u64;
+            for &u in &frontier {
+                let deg = slice.out_degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                sources_with_edges += 1;
+                edge_bytes += deg * EDGE_BYTES;
+                for (v, w) in slice.neighbors(u) {
+                    ctx.process_edge(u, v, w);
+                }
+            }
+
+            // Topology and source-property accesses for this tile (dense frontiers
+            // stream, sparse frontiers scatter — the pipeline owns that policy).
+            ctx.frontier_reads(tile_idx, sources_with_edges);
+            ctx.stream(
+                ctx.layout().columns_base,
+                (tile_idx as u64 * 64) % (1 << 20),
+                edge_bytes,
+                false,
+                Region::TopologyCol,
+            );
+
+            ctx.end_chunk();
         }
     }
 }
@@ -208,236 +93,13 @@ fn sparse_frontier_requests(
 /// Runs `program` on `graph` under the configuration `cfg` and returns timing and traffic
 /// statistics.
 pub fn simulate<P: VertexProgram>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult {
-    let n = graph.num_vertices();
-    let layout = GraphLayout::new(graph);
-    let tiling = resolve_tiling(cfg, n);
-    let tile_slices = tiling::partition_csr(graph, &tiling);
-    let mut path = MemoryPath::new(cfg.system, cfg.cache, &cfg.accel, &cfg.dram);
-    let mut mem = MemorySystem::new(cfg.dram);
-    let mapper = *mem.mapper();
-
-    // Functional state (mirrors piccolo_algo::run_vcm).
-    let mut props = VertexProps::new(n, program.initial_value(0.min(n.saturating_sub(1)), graph));
-    for v in 0..n {
-        props[v] = program.initial_value(v, graph);
-    }
-    let mut active = program.initial_active(graph);
-
-    let mut total_mem_clocks = 0u64;
-    let mut compute_cycles = 0u64;
-    let mut accel_cycles = 0u64;
-    let mut edges_processed = 0u64;
-    let mut iterations = 0u32;
-    let all_active_algorithm = program.algorithm().is_all_active();
-
-    for _iter in 0..cfg.max_iterations {
-        if active.is_empty() {
-            break;
-        }
-        iterations += 1;
-
-        let mut temp = VertexProps::new(n, program.temp_identity(0.min(n.saturating_sub(1)), graph));
-        for v in 0..n {
-            temp[v] = program.temp_identity(v, graph);
-        }
-        let mut touched = BitSet::new(n as usize);
-
-        let mut iter_mem_clocks = 0u64;
-        let mut iter_edges = 0u64;
-
-        // Scatter phase, tile by tile (Algorithm 1 lines 1-5).
-        for (tile_idx, tile) in tiling.iter().enumerate() {
-            let slice = &tile_slices[tile_idx];
-            if slice.num_edges() == 0 {
-                continue;
-            }
-            let tile_bytes = tile.width() as u64 * PROP_BYTES;
-            path.begin_tile(tile_bytes);
-
-            let mut reqs: Vec<MemRequest> = Vec::new();
-            let mut active_in_tile = 0u64;
-            let mut sources_with_edges = 0u64;
-            let mut edge_bytes = 0u64;
-
-            for u in active.iter_sorted() {
-                active_in_tile += 1;
-                let deg = slice.out_degree(u);
-                if deg == 0 {
-                    continue;
-                }
-                sources_with_edges += 1;
-                edge_bytes += deg * EDGE_BYTES;
-                let src_prop = props[u];
-                for (v, w) in slice.neighbors(u) {
-                    let res = program.process(w, src_prop);
-                    temp[v] = program.reduce(temp[v], res);
-                    touched.insert(v as usize);
-                    iter_edges += 1;
-                    path.random_access(layout.vtemp_addr(v), true, &mapper, &mut reqs);
-                }
-            }
-
-            // Topology and source-property accesses for this tile. Dense frontiers (PR,
-            // early CC iterations) stream sequentially; sparse frontiers are isolated
-            // reads scattered over the arrays and go through the fine-grained path.
-            let dense_frontier = active.len() as u64 * 16 >= n as u64
-                || cfg.system == SystemKind::Graphicionado;
-            let row_vertices = if cfg.system == SystemKind::Graphicionado {
-                n as u64
-            } else {
-                active_in_tile
-            };
-            if dense_frontier {
-                stream_requests(
-                    &mut reqs,
-                    layout.row_offsets_base,
-                    (tile_idx as u64 * n as u64 * ROW_OFFSET_BYTES) % (1 << 28),
-                    row_vertices * ROW_OFFSET_BYTES,
-                    false,
-                    Region::TopologyRow,
-                );
-                stream_requests(
-                    &mut reqs,
-                    layout.vprop_base,
-                    0,
-                    sources_with_edges * PROP_BYTES,
-                    false,
-                    Region::PropertySequential,
-                );
-            } else {
-                let fine = matches!(cfg.system, SystemKind::Piccolo | SystemKind::Nmp);
-                let nmp = cfg.system == SystemKind::Nmp;
-                sparse_frontier_requests(
-                    &mut reqs,
-                    active
-                        .iter_sorted()
-                        .flat_map(|u| {
-                            [
-                                (layout.row_offset_addr(u), ROW_OFFSET_BYTES as u32),
-                                (layout.vprop_addr(u), PROP_BYTES as u32),
-                            ]
-                        }),
-                    fine,
-                    nmp,
-                    &mapper,
-                    cfg.dram.fim.items_per_op,
-                );
-            }
-            stream_requests(
-                &mut reqs,
-                layout.columns_base,
-                (tile_idx as u64 * 64) % (1 << 20),
-                edge_bytes,
-                false,
-                Region::TopologyCol,
-            );
-
-            path.end_tile(&mut reqs);
-            let batch = mem.service_batch(reqs);
-            iter_mem_clocks += batch.elapsed_clocks();
-        }
-
-        // Apply phase (Algorithm 1 lines 6-10), functionally over every vertex, with
-        // memory traffic charged for touched destinations only.
-        let mut next_active = ActiveSet::new(n);
-        let mut updated = 0u64;
-        for v in 0..n {
-            let new = program.apply(props[v], temp[v], program.vconst(v, graph));
-            if program.changed(props[v], new) {
-                props[v] = new;
-                next_active.activate(v);
-                updated += 1;
-            }
-        }
-        let touched_count = touched.count() as u64;
-        let mut apply_reqs = Vec::new();
-        if path.is_scratchpad() {
-            // Scratchpad accelerators apply over every vertex of every tile
-            // (Algorithm 1 line 6): the whole Vprop array is re-read each iteration and
-            // updated entries written back.
-            stream_requests(
-                &mut apply_reqs,
-                layout.vprop_base,
-                0,
-                n as u64 * PROP_BYTES,
-                false,
-                Region::PropertySequential,
-            );
-        } else {
-            stream_requests(
-                &mut apply_reqs,
-                layout.vtemp_base,
-                0,
-                touched_count * 2 * PROP_BYTES,
-                false,
-                Region::PropertySequential,
-            );
-        }
-        stream_requests(
-            &mut apply_reqs,
-            layout.vprop_base,
-            0,
-            updated * PROP_BYTES,
-            true,
-            Region::PropertySequential,
-        );
-        if !apply_reqs.is_empty() {
-            iter_mem_clocks += mem.service_batch(apply_reqs).elapsed_clocks();
-        }
-
-        // Timing: compute overlaps memory when the prefetcher is enabled.
-        let iter_compute = cfg
-            .accel
-            .compute_cycles(iter_edges, touched_count + updated);
-        let iter_mem_ns = mem.clocks_to_ns(iter_mem_clocks);
-        let iter_mem_accel_cycles = (iter_mem_ns * cfg.accel.clock_ghz).ceil() as u64;
-        accel_cycles += if cfg.accel.prefetch {
-            iter_compute.max(iter_mem_accel_cycles)
-        } else {
-            iter_compute + iter_mem_accel_cycles
-        };
-        compute_cycles += iter_compute;
-        total_mem_clocks += iter_mem_clocks;
-        edges_processed += iter_edges;
-
-        active = if all_active_algorithm && updated > 0 {
-            ActiveSet::all(n)
-        } else if all_active_algorithm {
-            ActiveSet::new(n)
-        } else {
-            next_active
-        };
-    }
-
-    // Final flush: dirty vertex data must reach memory.
-    let mut final_reqs = Vec::new();
-    path.finish(&mapper, &mut final_reqs);
-    if !final_reqs.is_empty() {
-        let batch = mem.service_batch(final_reqs);
-        total_mem_clocks += batch.elapsed_clocks();
-        accel_cycles += (mem.clocks_to_ns(batch.elapsed_clocks()) * cfg.accel.clock_ghz) as u64;
-    }
-
-    let mem_ns = mem.clocks_to_ns(total_mem_clocks);
-    RunResult {
-        system: cfg.system,
-        accel_cycles,
-        compute_cycles,
-        mem_ns,
-        elapsed_ns: accel_cycles as f64 / cfg.accel.clock_ghz,
-        iterations,
-        edges_processed,
-        mem_stats: *mem.stats(),
-        cache_stats: path.cache_stats(),
-        tile_width: tiling.tile_width(),
-        num_tiles: tiling.num_tiles(),
-    }
+    pipeline::run(graph, program, cfg, &VertexCentric::new(graph, cfg))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheKind, SimConfig};
+    use crate::config::{CacheKind, SimConfig, SystemKind, TilingPolicy};
     use piccolo_algo::{run_vcm, Bfs, PageRank};
     use piccolo_graph::generate;
 
@@ -500,7 +162,11 @@ mod tests {
     #[test]
     fn fine_grain_cache_variants_run() {
         let g = generate::kronecker(10, 4, 9);
-        for cache in [CacheKind::Sectored, CacheKind::Line8, CacheKind::PiccoloRrip] {
+        for cache in [
+            CacheKind::Sectored,
+            CacheKind::Line8,
+            CacheKind::PiccoloRrip,
+        ] {
             let c = cfg(SystemKind::Piccolo).with_cache(cache);
             let r = simulate(&g, &PageRank::default(), &c);
             assert!(r.accel_cycles > 0, "{:?}", cache);
@@ -508,10 +174,14 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_disabled_is_slower(){
+    fn prefetch_disabled_is_slower() {
         let g = small_graph();
         let with = simulate(&g, &PageRank::default(), &cfg(SystemKind::Piccolo));
-        let without = simulate(&g, &PageRank::default(), &cfg(SystemKind::Piccolo).without_prefetch());
+        let without = simulate(
+            &g,
+            &PageRank::default(),
+            &cfg(SystemKind::Piccolo).without_prefetch(),
+        );
         assert!(without.accel_cycles > with.accel_cycles);
     }
 

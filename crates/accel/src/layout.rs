@@ -7,7 +7,6 @@
 //! contiguous region so the memory model sees realistic row/bank behaviour.
 
 use piccolo_graph::{Csr, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// Byte sizes of the graph data elements.
 pub const ROW_OFFSET_BYTES: u64 = 4;
@@ -17,7 +16,7 @@ pub const EDGE_BYTES: u64 = 8;
 pub const PROP_BYTES: u64 = 8;
 
 /// Base addresses of the graph arrays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphLayout {
     /// Base of the row-offset array.
     pub row_offsets_base: u64,

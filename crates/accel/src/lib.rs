@@ -30,9 +30,11 @@ pub mod edge_centric;
 pub mod engine;
 pub mod layout;
 pub mod path;
+pub mod pipeline;
 
 pub use config::{AccelConfig, CacheKind, SimConfig, SystemKind, TilingPolicy};
-pub use edge_centric::simulate_edge_centric;
-pub use engine::{simulate, RunResult};
+pub use edge_centric::{simulate_edge_centric, EdgeCentric};
+pub use engine::{simulate, VertexCentric};
 pub use layout::GraphLayout;
 pub use path::MemoryPath;
+pub use pipeline::{resolve_tiling, RunResult, ScatterContext, Traversal};

@@ -137,7 +137,11 @@ impl MemoryPath {
                 let r = cache.access(addr, 8, write);
                 for action in r.actions {
                     match action {
-                        MissAction::Fill { addr, bytes, useful } => out.push(MemRequest::Read {
+                        MissAction::Fill {
+                            addr,
+                            bytes,
+                            useful,
+                        } => out.push(MemRequest::Read {
                             addr,
                             useful_bytes: useful.min(bytes),
                             region: Region::PropertyRandom,
@@ -270,11 +274,22 @@ mod tests {
     fn conventional_path_emits_64b_reads() {
         let accel = AccelConfig::scaled(8);
         let dram = DramConfig::ddr4_2400_x16();
-        let mut p = MemoryPath::new(SystemKind::GraphDynsCache, CacheKind::Conventional, &accel, &dram);
+        let mut p = MemoryPath::new(
+            SystemKind::GraphDynsCache,
+            CacheKind::Conventional,
+            &accel,
+            &dram,
+        );
         let mut out = Vec::new();
         p.random_access(0x1_0008, true, &mapper(), &mut out);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], MemRequest::Read { useful_bytes: 8, .. }));
+        assert!(matches!(
+            out[0],
+            MemRequest::Read {
+                useful_bytes: 8,
+                ..
+            }
+        ));
         out.clear();
         p.random_access(0x1_0008, true, &mapper(), &mut out);
         assert!(out.is_empty(), "second access hits");
@@ -291,7 +306,11 @@ mod tests {
         for i in 0..8u64 {
             p.random_access(i * 8, false, &m, &mut out);
         }
-        assert_eq!(out.len(), 1, "eight same-row misses collapse into one gather");
+        assert_eq!(
+            out.len(),
+            1,
+            "eight same-row misses collapse into one gather"
+        );
         assert!(matches!(out[0], MemRequest::GatherFim { .. }));
         // Draining with nothing pending emits nothing further.
         out.clear();
@@ -321,7 +340,12 @@ mod tests {
         let accel = AccelConfig::scaled(8);
         let dram = DramConfig::ddr4_2400_x16();
         let m = mapper();
-        let mut spm = MemoryPath::new(SystemKind::Graphicionado, CacheKind::PiccoloLru, &accel, &dram);
+        let mut spm = MemoryPath::new(
+            SystemKind::Graphicionado,
+            CacheKind::PiccoloLru,
+            &accel,
+            &dram,
+        );
         let mut out = Vec::new();
         for i in 0..100u64 {
             spm.random_access(i * 8, true, &m, &mut out);
@@ -342,7 +366,8 @@ mod tests {
         out.clear();
         p.finish(&m, &mut out);
         assert!(
-            out.iter().any(|r| matches!(r, MemRequest::ScatterFim { .. })),
+            out.iter()
+                .any(|r| matches!(r, MemRequest::ScatterFim { .. })),
             "dirty sector must be scattered back on finish"
         );
     }

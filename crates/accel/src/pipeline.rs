@@ -1,0 +1,552 @@
+//! The shared simulation pipeline behind both accelerator models.
+//!
+//! [`engine::simulate`](crate::engine::simulate) (vertex-centric) and
+//! [`edge_centric::simulate_edge_centric`](crate::edge_centric::simulate_edge_centric)
+//! perform the same computation per iteration — initialise `Vtemp`, scatter contributions
+//! along edges, apply, rebuild the frontier — and push the same kinds of traffic through
+//! the same on-chip [`MemoryPath`] into the same DRAM model. The only genuine difference
+//! between them is *traversal order*: which edges a chunk of work contains and which
+//! sequential streams (topology, frontier, source properties) accompany it.
+//!
+//! This module owns everything that is traversal-independent:
+//!
+//! * the **iteration driver** [`run`] — functional state, convergence, the apply phase,
+//!   compute/memory overlap timing, the final dirty flush and [`RunResult`] assembly;
+//! * **frontier management** — the active set handed to each iteration and the
+//!   dense/sparse frontier-read policy ([`ScatterContext::frontier_reads`]);
+//! * **property-access plumbing** — turning per-edge destination updates and sequential
+//!   streams into [`MemoryPath`]/[`MemRequest`] traffic
+//!   ([`ScatterContext::process_edge`], [`ScatterContext::stream`]).
+//!
+//! A traversal order implements [`Traversal`] and is handed a [`ScatterContext`] per
+//! iteration; it decides chunk boundaries and request order, and nothing else. Adding a
+//! new execution strategy (sharded, asynchronous, multi-backend) means adding a new
+//! `Traversal` implementation — not a new engine.
+
+use crate::config::{SimConfig, SystemKind, TilingPolicy};
+use crate::layout::{GraphLayout, PROP_BYTES, ROW_OFFSET_BYTES};
+use crate::path::MemoryPath;
+use piccolo_algo::vcm::VertexProgram;
+use piccolo_cache::CacheStats;
+use piccolo_dram::{AddressMapper, MemRequest, MemStats, MemorySystem, Region};
+use piccolo_graph::{ActiveSet, BitSet, Csr, Tiling, VertexId, VertexProps, Weight};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The simulated system.
+    pub system: SystemKind,
+    /// Total accelerator cycles (at the accelerator clock).
+    pub accel_cycles: u64,
+    /// Cycles spent in the PE array (compute component).
+    pub compute_cycles: u64,
+    /// DRAM busy time in nanoseconds.
+    pub mem_ns: f64,
+    /// Wall-clock of the run in nanoseconds (accelerator cycles / clock).
+    pub elapsed_ns: f64,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Edges processed across all iterations.
+    pub edges_processed: u64,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+    /// Vertex cache/scratchpad statistics.
+    pub cache_stats: CacheStats,
+    /// Tile width used.
+    pub tile_width: u32,
+    /// Number of tiles.
+    pub num_tiles: u32,
+}
+
+impl RunResult {
+    /// Average off-chip bandwidth in GB/s over the run.
+    pub fn offchip_bandwidth_gbps(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            0.0
+        } else {
+            self.mem_stats.offchip_bytes as f64 / self.elapsed_ns
+        }
+    }
+
+    /// Average DRAM-internal bandwidth in GB/s over the run (data moved by FIM/NMP/PIM
+    /// operations that never crosses the channel).
+    pub fn internal_bandwidth_gbps(&self) -> f64 {
+        if self.elapsed_ns <= 0.0 {
+            0.0
+        } else {
+            self.mem_stats.internal_bytes as f64 / self.elapsed_ns
+        }
+    }
+}
+
+/// Chooses the tiling for a run.
+pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
+    match cfg.tiling {
+        TilingPolicy::None => Tiling::single_tile(num_vertices),
+        TilingPolicy::Perfect => {
+            Tiling::perfect(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32)
+        }
+        TilingPolicy::Scaled(f) => {
+            Tiling::scaled(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32, f)
+        }
+        TilingPolicy::Best => {
+            // Sweet spots found by the Fig. 17 sweep: conventional caches want tiles that
+            // just fit (factor 1-2); fine-grained caches hold only useful sectors and
+            // prefer much larger tiles (factor ~8).
+            let factor = match cfg.system {
+                SystemKind::Nmp | SystemKind::Piccolo => 2,
+                _ => 1,
+            };
+            Tiling::scaled(
+                num_vertices,
+                cfg.accel.onchip_bytes,
+                PROP_BYTES as u32,
+                factor,
+            )
+        }
+    }
+}
+
+/// A traversal order: how one iteration's scatter phase walks the graph.
+///
+/// Implementations chunk the edge set (destination-interval tiles for the vertex-centric
+/// engine, 2-D grid blocks for the edge-centric one), emit each chunk's sequential
+/// streams, and feed every traversed edge to [`ScatterContext::process_edge`]. Everything
+/// else — functional semantics, caching, DRAM timing, apply, convergence — is shared and
+/// lives in [`run`].
+pub trait Traversal<P: VertexProgram> {
+    /// `(tile_width, num_tiles)` reported in the [`RunResult`].
+    fn shape(&self) -> (u32, u32);
+
+    /// Executes the scatter phase of one iteration through `ctx`.
+    ///
+    /// For each chunk the implementation must call [`ScatterContext::begin_chunk`],
+    /// generate the chunk's streams and edge work, then [`ScatterContext::end_chunk`].
+    fn scatter(&self, ctx: &mut ScatterContext<'_, P>);
+}
+
+/// Per-iteration view of the pipeline handed to a [`Traversal`].
+///
+/// Owns the request buffer of the chunk in flight plus mutable access to the functional
+/// state (`Vtemp`, touched set) and the memory path; exposes read-only access to the
+/// frontier and `Vprop`.
+pub struct ScatterContext<'a, P: VertexProgram> {
+    program: &'a P,
+    cfg: &'a SimConfig,
+    layout: &'a GraphLayout,
+    mapper: &'a AddressMapper,
+    num_vertices: u32,
+    path: &'a mut MemoryPath,
+    mem: &'a mut MemorySystem,
+    props: &'a VertexProps<P::Value>,
+    active: &'a ActiveSet,
+    temp: &'a mut VertexProps<P::Value>,
+    touched: &'a mut BitSet,
+    reqs: Vec<MemRequest>,
+    iter_mem_clocks: u64,
+    iter_edges: u64,
+}
+
+impl<P: VertexProgram> std::fmt::Debug for ScatterContext<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterContext")
+            .field("system", &self.cfg.system)
+            .field("pending_requests", &self.reqs.len())
+            .field("iter_edges", &self.iter_edges)
+            .finish()
+    }
+}
+
+impl<'a, P: VertexProgram> ScatterContext<'a, P> {
+    /// The simulation configuration of this run.
+    pub fn cfg(&self) -> &SimConfig {
+        self.cfg
+    }
+
+    /// The DRAM layout of the graph arrays.
+    pub fn layout(&self) -> &GraphLayout {
+        self.layout
+    }
+
+    /// The active-vertex frontier of this iteration.
+    pub fn active(&self) -> &ActiveSet {
+        self.active
+    }
+
+    /// Number of vertices in the graph.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Current `Vprop[v]`.
+    pub fn prop(&self, v: VertexId) -> P::Value {
+        self.props[v]
+    }
+
+    /// Opens a chunk whose destination slice spans `tile_bytes` of `Vtemp` (drives
+    /// Piccolo-cache way partitioning).
+    pub fn begin_chunk(&mut self, tile_bytes: u64) {
+        self.path.begin_tile(tile_bytes);
+    }
+
+    /// Closes the chunk: drains the collection MSHR and services the chunk's request
+    /// batch through the DRAM model.
+    pub fn end_chunk(&mut self) {
+        self.path.end_tile(&mut self.reqs);
+        if !self.reqs.is_empty() {
+            let batch = self.mem.service_batch(std::mem::take(&mut self.reqs));
+            self.iter_mem_clocks += batch.elapsed_clocks();
+        }
+    }
+
+    /// Processes one traversed edge `src --(weight)--> dst`: applies
+    /// `Reduce(Vtemp[dst], Process(weight, Vprop[src]))` functionally, marks the
+    /// destination touched, and pushes the 8 B random read-modify-write of `Vtemp[dst]`
+    /// through the on-chip memory path.
+    pub fn process_edge(&mut self, src: VertexId, dst: VertexId, weight: Weight) {
+        let res = self.program.process(weight, self.props[src]);
+        self.temp[dst] = self.program.reduce(self.temp[dst], res);
+        self.touched.insert(dst as usize);
+        self.iter_edges += 1;
+        self.path.random_access(
+            self.layout.vtemp_addr(dst),
+            true,
+            self.mapper,
+            &mut self.reqs,
+        );
+    }
+
+    /// Emits `bytes` of sequential stream traffic starting at `base + offset` as 64 B
+    /// bursts (reads, or writes when `write` is set), every byte useful.
+    pub fn stream(&mut self, base: u64, offset: u64, bytes: u64, write: bool, region: Region) {
+        stream_requests(&mut self.reqs, base, offset, bytes, write, region);
+    }
+
+    /// Emits the row-offset and `Vprop` reads of this iteration's frontier for one chunk.
+    ///
+    /// Dense frontiers (PageRank, early CC iterations — or always, for Graphicionado,
+    /// which has no active-vertex compaction in its prefetcher) stream sequentially.
+    /// Sparse frontiers are isolated 4/8 B reads scattered over large arrays (the Fig. 3
+    /// situation for BFS): a conventional memory system still fetches a 64 B burst per
+    /// touched line, whereas Piccolo/NMP gather up to eight useful words per DRAM row
+    /// through the same in-memory scatter/gather machinery used for the destination
+    /// properties.
+    ///
+    /// `chunk_idx` decorrelates the per-chunk re-reads in the address map;
+    /// `sources_with_edges` is the number of frontier vertices with edges in this chunk.
+    pub fn frontier_reads(&mut self, chunk_idx: usize, sources_with_edges: u64) {
+        let n = self.num_vertices as u64;
+        let dense =
+            self.active.len() as u64 * 16 >= n || self.cfg.system == SystemKind::Graphicionado;
+        if dense {
+            let row_vertices = if self.cfg.system == SystemKind::Graphicionado {
+                n
+            } else {
+                self.active.len() as u64
+            };
+            self.stream(
+                self.layout.row_offsets_base,
+                (chunk_idx as u64 * n * ROW_OFFSET_BYTES) % (1 << 28),
+                row_vertices * ROW_OFFSET_BYTES,
+                false,
+                Region::TopologyRow,
+            );
+            self.stream(
+                self.layout.vprop_base,
+                0,
+                sources_with_edges * PROP_BYTES,
+                false,
+                Region::PropertySequential,
+            );
+        } else {
+            let fine = matches!(self.cfg.system, SystemKind::Piccolo | SystemKind::Nmp);
+            let nmp = self.cfg.system == SystemKind::Nmp;
+            let layout = *self.layout;
+            sparse_frontier_requests(
+                &mut self.reqs,
+                self.active.iter_sorted().flat_map(|u| {
+                    [
+                        (layout.row_offset_addr(u), ROW_OFFSET_BYTES as u32),
+                        (layout.vprop_addr(u), PROP_BYTES as u32),
+                    ]
+                }),
+                fine,
+                nmp,
+                self.mapper,
+                self.cfg.dram.fim.items_per_op,
+            );
+        }
+    }
+}
+
+/// Emits `bytes` of sequential stream traffic starting at `base + offset` as 64 B reads
+/// (or writes), marking every byte useful.
+pub(crate) fn stream_requests(
+    out: &mut Vec<MemRequest>,
+    base: u64,
+    offset: u64,
+    bytes: u64,
+    write: bool,
+    region: Region,
+) {
+    if bytes == 0 {
+        return;
+    }
+    let start = (base + offset) & !63;
+    let bursts = bytes.div_ceil(64);
+    for i in 0..bursts {
+        let addr = start + i * 64;
+        out.push(if write {
+            MemRequest::Write {
+                addr,
+                useful_bytes: 64,
+                region,
+            }
+        } else {
+            MemRequest::Read {
+                addr,
+                useful_bytes: 64,
+                region,
+            }
+        });
+    }
+}
+
+/// Emits the per-tile reads of isolated (sparse-frontier) 4/8 B accesses: row-grouped
+/// in-memory gathers on fine-grained systems, one 64 B line read per touched line
+/// otherwise.
+pub(crate) fn sparse_frontier_requests(
+    out: &mut Vec<MemRequest>,
+    addrs: impl Iterator<Item = (u64, u32)>,
+    fine_grained: bool,
+    nmp: bool,
+    mapper: &AddressMapper,
+    items_per_op: u32,
+) {
+    if fine_grained {
+        let mut by_row: std::collections::HashMap<piccolo_dram::RowId, Vec<u16>> =
+            std::collections::HashMap::new();
+        let mut order = Vec::new();
+        for (addr, _useful) in addrs {
+            let loc = mapper.decompose(addr);
+            let row = mapper.row_id_of(&loc);
+            let entry = by_row.entry(row).or_insert_with(|| {
+                order.push(row);
+                Vec::new()
+            });
+            let off = loc.word_offset();
+            if !entry.contains(&off) {
+                entry.push(off);
+            }
+        }
+        for row in order {
+            for chunk in by_row[&row].chunks(items_per_op.max(1) as usize) {
+                out.push(if nmp {
+                    MemRequest::GatherNmp {
+                        row,
+                        offsets: chunk.to_vec(),
+                        region: Region::TopologyRow,
+                    }
+                } else {
+                    MemRequest::GatherFim {
+                        row,
+                        offsets: chunk.to_vec(),
+                        region: Region::TopologyRow,
+                    }
+                });
+            }
+        }
+    } else {
+        let mut last_line = u64::MAX;
+        for (addr, useful) in addrs {
+            let line = addr & !63;
+            if line == last_line {
+                continue;
+            }
+            last_line = line;
+            out.push(MemRequest::Read {
+                addr: line,
+                useful_bytes: useful,
+                region: Region::TopologyRow,
+            });
+        }
+    }
+}
+
+/// Runs `program` on `graph` under `cfg` with the given traversal order and returns
+/// timing and traffic statistics.
+///
+/// ## Timing model
+///
+/// Per iteration the driver accumulates the DRAM service time of all generated requests
+/// (per-chunk batches) and the PE-array compute time; with prefetching enabled the two
+/// overlap (`max`), without it they serialize (`+`), which reproduces the ~20 % penalty
+/// of Fig. 20b. The graph-processing accelerators the paper builds on are throughput
+/// oriented: per-request latency is hidden by deep prefetch/miss queues, so makespan
+/// rather than per-access latency determines performance.
+///
+/// ## Apply-phase traffic
+///
+/// Scratchpad accelerators apply over every vertex of every tile (Algorithm 1 line 6):
+/// the whole `Vprop` array is re-read each iteration. Cache-based systems read the
+/// `Vtemp`/`Vprop` pair of touched destinations only. Updated entries are written back
+/// in both cases. This policy is shared by every traversal order.
+pub fn run<P: VertexProgram, T: Traversal<P>>(
+    graph: &Csr,
+    program: &P,
+    cfg: &SimConfig,
+    traversal: &T,
+) -> RunResult {
+    let n = graph.num_vertices();
+    let layout = GraphLayout::new(graph);
+    let mut path = MemoryPath::new(cfg.system, cfg.cache, &cfg.accel, &cfg.dram);
+    let mut mem = MemorySystem::new(cfg.dram);
+    let mapper = *mem.mapper();
+
+    // Functional state (mirrors piccolo_algo::run_vcm).
+    let mut props = VertexProps::new(n, program.initial_value(0, graph));
+    for v in 0..n {
+        props[v] = program.initial_value(v, graph);
+    }
+    let mut active = program.initial_active(graph);
+
+    let mut total_mem_clocks = 0u64;
+    let mut compute_cycles = 0u64;
+    let mut accel_cycles = 0u64;
+    let mut edges_processed = 0u64;
+    let mut iterations = 0u32;
+    let all_active_algorithm = program.algorithm().is_all_active();
+
+    for _iter in 0..cfg.max_iterations {
+        if active.is_empty() {
+            break;
+        }
+        iterations += 1;
+
+        let mut temp = VertexProps::new(n, program.temp_identity(0, graph));
+        for v in 0..n {
+            temp[v] = program.temp_identity(v, graph);
+        }
+        let mut touched = BitSet::new(n as usize);
+
+        // Scatter phase (Algorithm 1 lines 1-5), in the traversal's order.
+        let mut ctx = ScatterContext {
+            program,
+            cfg,
+            layout: &layout,
+            mapper: &mapper,
+            num_vertices: n,
+            path: &mut path,
+            mem: &mut mem,
+            props: &props,
+            active: &active,
+            temp: &mut temp,
+            touched: &mut touched,
+            reqs: Vec::new(),
+            iter_mem_clocks: 0,
+            iter_edges: 0,
+        };
+        traversal.scatter(&mut ctx);
+        debug_assert!(ctx.reqs.is_empty(), "traversal left an unclosed chunk");
+        if !ctx.reqs.is_empty() {
+            // Fail closed in release builds: a traversal that forgot its final
+            // end_chunk() must not silently drop traffic from the timing model.
+            ctx.end_chunk();
+        }
+        let mut iter_mem_clocks = ctx.iter_mem_clocks;
+        let iter_edges = ctx.iter_edges;
+
+        // Apply phase (Algorithm 1 lines 6-10), functionally over every vertex, with
+        // memory traffic charged for touched destinations only.
+        let mut next_active = ActiveSet::new(n);
+        let mut updated = 0u64;
+        for v in 0..n {
+            let new = program.apply(props[v], temp[v], program.vconst(v, graph));
+            if program.changed(props[v], new) {
+                props[v] = new;
+                next_active.activate(v);
+                updated += 1;
+            }
+        }
+        let touched_count = touched.count() as u64;
+        let mut apply_reqs = Vec::new();
+        if path.is_scratchpad() {
+            stream_requests(
+                &mut apply_reqs,
+                layout.vprop_base,
+                0,
+                n as u64 * PROP_BYTES,
+                false,
+                Region::PropertySequential,
+            );
+        } else {
+            stream_requests(
+                &mut apply_reqs,
+                layout.vtemp_base,
+                0,
+                touched_count * 2 * PROP_BYTES,
+                false,
+                Region::PropertySequential,
+            );
+        }
+        stream_requests(
+            &mut apply_reqs,
+            layout.vprop_base,
+            0,
+            updated * PROP_BYTES,
+            true,
+            Region::PropertySequential,
+        );
+        if !apply_reqs.is_empty() {
+            iter_mem_clocks += mem.service_batch(apply_reqs).elapsed_clocks();
+        }
+
+        // Timing: compute overlaps memory when the prefetcher is enabled.
+        let iter_compute = cfg
+            .accel
+            .compute_cycles(iter_edges, touched_count + updated);
+        let iter_mem_ns = mem.clocks_to_ns(iter_mem_clocks);
+        let iter_mem_accel_cycles = (iter_mem_ns * cfg.accel.clock_ghz).ceil() as u64;
+        accel_cycles += if cfg.accel.prefetch {
+            iter_compute.max(iter_mem_accel_cycles)
+        } else {
+            iter_compute + iter_mem_accel_cycles
+        };
+        compute_cycles += iter_compute;
+        total_mem_clocks += iter_mem_clocks;
+        edges_processed += iter_edges;
+
+        active = if all_active_algorithm && updated > 0 {
+            ActiveSet::all(n)
+        } else if all_active_algorithm {
+            ActiveSet::new(n)
+        } else {
+            next_active
+        };
+    }
+
+    // Final flush: dirty vertex data must reach memory.
+    let mut final_reqs = Vec::new();
+    path.finish(&mapper, &mut final_reqs);
+    if !final_reqs.is_empty() {
+        let batch = mem.service_batch(final_reqs);
+        total_mem_clocks += batch.elapsed_clocks();
+        accel_cycles += (mem.clocks_to_ns(batch.elapsed_clocks()) * cfg.accel.clock_ghz) as u64;
+    }
+
+    let (tile_width, num_tiles) = traversal.shape();
+    let mem_ns = mem.clocks_to_ns(total_mem_clocks);
+    RunResult {
+        system: cfg.system,
+        accel_cycles,
+        compute_cycles,
+        mem_ns,
+        elapsed_ns: accel_cycles as f64 / cfg.accel.clock_ghz,
+        iterations,
+        edges_processed,
+        mem_stats: *mem.stats(),
+        cache_stats: path.cache_stats(),
+        tile_width,
+        num_tiles,
+    }
+}

@@ -1,6 +1,6 @@
 //! Integration test comparing the evaluated systems end to end on a PageRank workload.
 
-use piccolo_accel::{simulate, CacheKind, SimConfig, SystemKind};
+use piccolo_accel::{simulate, SimConfig, SystemKind};
 use piccolo_algo::PageRank;
 use piccolo_graph::generate;
 
@@ -50,8 +50,12 @@ fn tile_factor_sweep_diagnostic() {
         let r = simulate(&g, &PageRank::default(), &cfg);
         eprintln!(
             "piccolo x{:<2} cycles={:>9} offchip={:>9} hit%={:>5.1} gathers={:>7} tiles={}",
-            factor, r.accel_cycles, r.mem_stats.offchip_bytes, 100.0 * r.cache_stats.hit_rate(),
-            r.mem_stats.fim_gathers, r.num_tiles
+            factor,
+            r.accel_cycles,
+            r.mem_stats.offchip_bytes,
+            100.0 * r.cache_stats.hit_rate(),
+            r.mem_stats.fim_gathers,
+            r.num_tiles
         );
         let b = SimConfig::for_system(SystemKind::GraphDynsCache, 12)
             .with_max_iterations(3)
@@ -59,7 +63,11 @@ fn tile_factor_sweep_diagnostic() {
         let rb = simulate(&g, &PageRank::default(), &b);
         eprintln!(
             "base    x{:<2} cycles={:>9} offchip={:>9} hit%={:>5.1} tiles={}",
-            factor, rb.accel_cycles, rb.mem_stats.offchip_bytes, 100.0 * rb.cache_stats.hit_rate(), rb.num_tiles
+            factor,
+            rb.accel_cycles,
+            rb.mem_stats.offchip_bytes,
+            100.0 * rb.cache_stats.hit_rate(),
+            rb.num_tiles
         );
     }
 }
@@ -68,7 +76,13 @@ fn tile_factor_sweep_diagnostic() {
 fn sparse_algorithm_diagnostic() {
     use piccolo_algo::{Bfs, Sssp};
     let g = generate::kronecker(13, 8, 7);
-    for (name, sys) in [("base", SystemKind::GraphDynsCache), ("piccolo", SystemKind::Piccolo), ("nmp", SystemKind::Nmp), ("pim", SystemKind::Pim), ("spm", SystemKind::GraphDynsSpm)] {
+    for (name, sys) in [
+        ("base", SystemKind::GraphDynsCache),
+        ("piccolo", SystemKind::Piccolo),
+        ("nmp", SystemKind::Nmp),
+        ("pim", SystemKind::Pim),
+        ("spm", SystemKind::GraphDynsSpm),
+    ] {
         let cfg = SimConfig::for_system(sys, 12).with_max_iterations(40);
         let b = simulate(&g, &Bfs::new(0), &cfg);
         let s = simulate(&g, &Sssp::new(0), &cfg);

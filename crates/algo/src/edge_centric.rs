@@ -71,7 +71,7 @@ pub fn run_edge_centric<P: VertexProgram>(
     let n = graph.num_vertices();
     let grid_edges = GridEdges::new(graph, src_tile_width.max(1), dst_tile_width.max(1));
 
-    let mut props = VertexProps::new(n, program.initial_value(0.min(n.saturating_sub(1)), graph));
+    let mut props = VertexProps::new(n, program.initial_value(0, graph));
     for v in 0..n {
         props[v] = program.initial_value(v, graph);
     }
@@ -87,7 +87,7 @@ pub fn run_edge_centric<P: VertexProgram>(
         }
         iterations = iter + 1;
 
-        let mut temp = VertexProps::new(n, program.temp_identity(0.min(n.saturating_sub(1)), graph));
+        let mut temp = VertexProps::new(n, program.temp_identity(0, graph));
         for v in 0..n {
             temp[v] = program.temp_identity(v, graph);
         }

@@ -8,10 +8,9 @@
 //! work performed.
 
 use piccolo_graph::{ActiveSet, Csr, VertexId, VertexProps, Weight};
-use serde::{Deserialize, Serialize};
 
 /// The five graph algorithms evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// PageRank (all vertices active every iteration).
     PageRank,
@@ -94,7 +93,7 @@ pub trait VertexProgram {
 }
 
 /// Per-iteration statistics of a functional VCM run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationStats {
     /// Iteration index (0-based).
     pub iteration: u32,
@@ -134,9 +133,13 @@ impl<V> VcmResult<V> {
 ///
 /// The paper caps runs at 40 iterations "for cases where the number of iterations was too
 /// long"; callers should pass 40 to match.
-pub fn run_vcm<P: VertexProgram>(graph: &Csr, program: &P, max_iterations: u32) -> VcmResult<P::Value> {
+pub fn run_vcm<P: VertexProgram>(
+    graph: &Csr,
+    program: &P,
+    max_iterations: u32,
+) -> VcmResult<P::Value> {
     let n = graph.num_vertices();
-    let mut props = VertexProps::new(n, program.initial_value(0.min(n.saturating_sub(1)), graph));
+    let mut props = VertexProps::new(n, program.initial_value(0, graph));
     for v in 0..n {
         props[v] = program.initial_value(v, graph);
     }
@@ -153,7 +156,7 @@ pub fn run_vcm<P: VertexProgram>(graph: &Csr, program: &P, max_iterations: u32) 
         iterations = iter + 1;
 
         // (Re-)initialise Vtemp with the reduce identity.
-        let mut temp = VertexProps::new(n, program.temp_identity(0.min(n.saturating_sub(1)), graph));
+        let mut temp = VertexProps::new(n, program.temp_identity(0, graph));
         for v in 0..n {
             temp[v] = program.temp_identity(v, graph);
         }

@@ -1,104 +1,137 @@
-//! Property-based equivalence tests: the VCM programs must agree with the textbook
+//! Property-style equivalence tests: the VCM programs must agree with the textbook
 //! reference implementations, and the edge-centric driver must agree with the
 //! vertex-centric one.
+//!
+//! The container this repository builds in has no crates.io access, so instead of
+//! `proptest` these run a fixed number of seeded-random cases through
+//! [`piccolo_graph::rng::Rng64`]; the failing seed is part of the assertion message, so a
+//! reproduction is one `Rng64::seed_from_u64` away.
 
 use piccolo_algo::edge_centric::run_edge_centric;
 use piccolo_algo::{reference, run_vcm, Bfs, ConnectedComponents, PageRank, Sssp, Sswp};
+use piccolo_graph::rng::Rng64;
 use piccolo_graph::{Csr, Edge, EdgeList};
-use proptest::prelude::*;
 
-/// Strategy producing a random directed graph with weights in 1..=255.
-fn arb_graph() -> impl Strategy<Value = Csr> {
-    (2u32..80).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n, 1u32..256), 1..500).prop_map(move |edges| {
-            let mut el = EdgeList::new(n);
-            for (s, d, w) in edges {
-                if s != d {
-                    el.push(Edge::new(s, d, w));
-                }
-            }
-            el.dedup_and_clean();
-            el.to_csr()
-        })
-    })
+const CASES: u64 = 48;
+
+/// Random directed graph with 2..80 vertices, up to 500 edges, weights in 1..=255.
+fn random_graph(rng: &mut Rng64) -> Csr {
+    let n = 2 + rng.gen_u32_below(78);
+    let edges = 1 + rng.gen_index(500);
+    let mut el = EdgeList::new(n);
+    for _ in 0..edges {
+        let s = rng.gen_u32_below(n);
+        let d = rng.gen_u32_below(n);
+        let w = 1 + rng.gen_u32_below(255);
+        if s != d {
+            el.push(Edge::new(s, d, w));
+        }
+    }
+    el.dedup_and_clean();
+    el.to_csr()
 }
 
-/// Strategy producing a random *symmetric* graph (for CC).
-fn arb_symmetric_graph() -> impl Strategy<Value = Csr> {
-    (2u32..60).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..300).prop_map(move |pairs| {
-            let mut el = EdgeList::new(n);
-            for (a, b) in pairs {
-                if a != b {
-                    el.push(Edge::new(a, b, 1));
-                    el.push(Edge::new(b, a, 1));
-                }
-            }
-            el.dedup_and_clean();
-            el.to_csr()
-        })
-    })
+/// Random *symmetric* graph (for CC) with 2..60 vertices and up to 300 edge pairs.
+fn random_symmetric_graph(rng: &mut Rng64) -> Csr {
+    let n = 2 + rng.gen_u32_below(58);
+    let pairs = rng.gen_index(300);
+    let mut el = EdgeList::new(n);
+    for _ in 0..pairs {
+        let a = rng.gen_u32_below(n);
+        let b = rng.gen_u32_below(n);
+        if a != b {
+            el.push(Edge::new(a, b, 1));
+            el.push(Edge::new(b, a, 1));
+        }
+    }
+    el.dedup_and_clean();
+    el.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn bfs_matches_reference(g in arb_graph(), src_sel in any::<u32>()) {
-        let src = src_sel % g.num_vertices();
+#[test]
+fn bfs_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let src = rng.gen_u32_below(g.num_vertices());
         let vcm = run_vcm(&g, &Bfs::new(src), 10_000);
         let expected = reference::bfs_levels(&g, src);
-        prop_assert_eq!(vcm.props.as_slice(), expected.as_slice());
+        assert_eq!(vcm.props.as_slice(), expected.as_slice(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn sssp_matches_dijkstra(g in arb_graph(), src_sel in any::<u32>()) {
-        let src = src_sel % g.num_vertices();
+#[test]
+fn sssp_matches_dijkstra() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let src = rng.gen_u32_below(g.num_vertices());
         let vcm = run_vcm(&g, &Sssp::new(src), 10_000);
         let expected = reference::dijkstra(&g, src);
-        prop_assert_eq!(vcm.props.as_slice(), expected.as_slice());
+        assert_eq!(vcm.props.as_slice(), expected.as_slice(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn sswp_matches_reference(g in arb_graph(), src_sel in any::<u32>()) {
-        let src = src_sel % g.num_vertices();
+#[test]
+fn sswp_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let src = rng.gen_u32_below(g.num_vertices());
         let vcm = run_vcm(&g, &Sswp::new(src), 10_000);
         let expected = reference::widest_path(&g, src);
-        prop_assert_eq!(vcm.props.as_slice(), expected.as_slice());
+        assert_eq!(vcm.props.as_slice(), expected.as_slice(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn cc_matches_union_find(g in arb_symmetric_graph()) {
+#[test]
+fn cc_matches_union_find() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_symmetric_graph(&mut rng);
         let vcm = run_vcm(&g, &ConnectedComponents::new(), 10_000);
         let expected = reference::weakly_connected_components(&g);
-        prop_assert_eq!(vcm.props.as_slice(), expected.as_slice());
+        assert_eq!(vcm.props.as_slice(), expected.as_slice(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn edge_centric_equals_vertex_centric(
-        g in arb_graph(),
-        src_sel in any::<u32>(),
-        src_w in 1u32..64,
-        dst_w in 1u32..64,
-    ) {
-        let src = src_sel % g.num_vertices();
+#[test]
+fn edge_centric_equals_vertex_centric() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let src = rng.gen_u32_below(g.num_vertices());
+        let src_w = 1 + rng.gen_u32_below(63);
+        let dst_w = 1 + rng.gen_u32_below(63);
         let vc = run_vcm(&g, &Sssp::new(src), 10_000);
         let ec = run_edge_centric(&g, &Sssp::new(src), 10_000, src_w, dst_w);
-        prop_assert_eq!(vc.props.as_slice(), ec.props.as_slice());
-        prop_assert_eq!(vc.iterations, ec.iterations);
+        assert_eq!(vc.props.as_slice(), ec.props.as_slice(), "seed {seed}");
+        assert_eq!(vc.iterations, ec.iterations, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pagerank_matches_power_iteration(g in arb_graph()) {
+#[test]
+fn pagerank_matches_power_iteration() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
         // Compare a fixed number of iterations with epsilon=0 so both run the same count.
         let iters = 12;
-        let pr = PageRank { damping: 0.85, epsilon: 0.0 };
+        let pr = PageRank {
+            damping: 0.85,
+            epsilon: 0.0,
+        };
         let vcm = run_vcm(&g, &pr, iters);
         let ranks = pr.ranks(&g, vcm.props.as_slice());
         let expected = reference::pagerank(&g, 0.85, iters);
         for v in 0..g.num_vertices() as usize {
-            prop_assert!((ranks[v] - expected[v]).abs() < 1e-6,
-                "rank mismatch at {}: {} vs {}", v, ranks[v], expected[v]);
+            assert!(
+                (ranks[v] - expected[v]).abs() < 1e-6,
+                "seed {seed}: rank mismatch at {}: {} vs {}",
+                v,
+                ranks[v],
+                expected[v]
+            );
         }
     }
 }

@@ -1,43 +1,134 @@
-//! Criterion benchmarks: one (small-scale) benchmark per paper figure/table.
+//! Benchmarks: one (small-scale) benchmark per paper figure/table.
 //!
-//! Each benchmark runs the corresponding experiment driver from `piccolo::experiments`
-//! at `Scale::quick()` (tiny stand-in graphs) so `cargo bench --workspace` finishes in
-//! minutes; the `repro` binary runs the same drivers at full reproduction scale and
-//! prints the series the paper reports.
+//! The reproduction container has no access to crates.io, so instead of Criterion this is
+//! a hand-rolled harness (`harness = false` in `Cargo.toml`): each figure's experiment
+//! driver from `piccolo::experiments` runs a few timed iterations at a tiny scale and the
+//! bench prints min/mean wall-clock per driver. The `repro` binary runs the same drivers
+//! at full reproduction scale and prints the series the paper reports.
+//!
+//! Usage: `cargo bench` (optionally `cargo bench -- fig10` to filter by substring).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use piccolo::experiments::{self, Scale};
 use piccolo_algo::Algorithm;
 use piccolo_graph::Dataset;
+use std::time::{Duration, Instant};
 
 fn tiny() -> Scale {
-    Scale { scale_shift: 15, seed: 7, max_iterations: 2 }
+    Scale {
+        scale_shift: 15,
+        seed: 7,
+        max_iterations: 2,
+    }
 }
 
-fn bench_figures(c: &mut Criterion) {
+/// Times `f` for a warmup run plus `samples` measured runs; returns (min, mean).
+fn time_runs(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
+    f(); // warmup
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        min = min.min(dt);
+        total += dt;
+    }
+    (min, total / samples)
+}
+
+type BenchFn = Box<dyn FnMut()>;
+
+fn main() {
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let ds = [Dataset::Sinaweibo];
     let algs = [Algorithm::Bfs];
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig03_motivation", |b| b.iter(|| experiments::fig03(tiny(), &ds)));
-    g.bench_function("fig09_microbenchmark", |b| b.iter(experiments::fig09));
-    g.bench_function("fig10_overall_speedup", |b| b.iter(|| experiments::fig10(tiny(), &ds, &algs)));
-    g.bench_function("fig11_cache_designs", |b| b.iter(|| experiments::fig11(tiny(), &ds, &algs)));
-    g.bench_function("fig12_memory_access", |b| b.iter(|| experiments::fig12(tiny(), &ds, &algs)));
-    g.bench_function("fig13_bandwidth", |b| b.iter(|| experiments::fig13(tiny(), &ds, &algs)));
-    g.bench_function("fig14_energy", |b| b.iter(|| experiments::fig14(tiny(), &ds, &algs)));
-    g.bench_function("fig15_memory_types", |b| b.iter(|| experiments::fig15(tiny(), Dataset::Sinaweibo, &algs)));
-    g.bench_function("fig16_channels_ranks", |b| b.iter(|| experiments::fig16(tiny(), Dataset::Sinaweibo, &algs)));
-    g.bench_function("fig17_tile_size", |b| b.iter(|| experiments::fig17(tiny(), Dataset::Sinaweibo, &algs)));
-    g.bench_function("fig18_synthetic_graphs", |b| b.iter(|| experiments::fig18(tiny())));
-    g.bench_function("fig19a_edge_centric", |b| b.iter(|| experiments::fig19a(tiny(), &ds)));
-    g.bench_function("fig19b_olap", |b| b.iter(|| experiments::fig19b(5_000)));
-    g.bench_function("fig20a_enhanced_designs", |b| b.iter(|| experiments::fig20a(tiny(), Dataset::Sinaweibo, &algs)));
-    g.bench_function("fig20b_prefetch_off", |b| b.iter(|| experiments::fig20b(tiny(), &ds)));
-    g.bench_function("table2_datasets", |b| b.iter(|| experiments::table2(tiny())));
-    g.bench_function("area_report", |b| b.iter(piccolo::area_report));
-    g.finish();
-}
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+    let benches: Vec<(&str, BenchFn)> = vec![
+        (
+            "fig03_motivation",
+            Box::new(move || drop(experiments::fig03(tiny(), &ds))),
+        ),
+        (
+            "fig09_microbenchmark",
+            Box::new(move || drop(experiments::fig09())),
+        ),
+        (
+            "fig10_overall_speedup",
+            Box::new(move || drop(experiments::fig10(tiny(), &ds, &algs))),
+        ),
+        (
+            "fig11_cache_designs",
+            Box::new(move || drop(experiments::fig11(tiny(), &ds, &algs))),
+        ),
+        (
+            "fig12_memory_access",
+            Box::new(move || drop(experiments::fig12(tiny(), &ds, &algs))),
+        ),
+        (
+            "fig13_bandwidth",
+            Box::new(move || drop(experiments::fig13(tiny(), &ds, &algs))),
+        ),
+        (
+            "fig14_energy",
+            Box::new(move || drop(experiments::fig14(tiny(), &ds, &algs))),
+        ),
+        (
+            "fig15_memory_types",
+            Box::new(move || drop(experiments::fig15(tiny(), Dataset::Sinaweibo, &algs))),
+        ),
+        (
+            "fig16_channels_ranks",
+            Box::new(move || drop(experiments::fig16(tiny(), Dataset::Sinaweibo, &algs))),
+        ),
+        (
+            "fig17_tile_size",
+            Box::new(move || drop(experiments::fig17(tiny(), Dataset::Sinaweibo, &algs))),
+        ),
+        (
+            "fig18_synthetic_graphs",
+            Box::new(move || drop(experiments::fig18(tiny()))),
+        ),
+        (
+            "fig19a_edge_centric",
+            Box::new(move || drop(experiments::fig19a(tiny(), &ds))),
+        ),
+        (
+            "fig19b_olap",
+            Box::new(move || drop(experiments::fig19b(5_000))),
+        ),
+        (
+            "fig20a_enhanced_designs",
+            Box::new(move || drop(experiments::fig20a(tiny(), Dataset::Sinaweibo, &algs))),
+        ),
+        (
+            "fig20b_prefetch_off",
+            Box::new(move || drop(experiments::fig20b(tiny(), &ds))),
+        ),
+        (
+            "table2_datasets",
+            Box::new(move || drop(experiments::table2(tiny()))),
+        ),
+        (
+            "area_report",
+            Box::new(move || {
+                let _ = piccolo::area_report();
+            }),
+        ),
+    ];
+
+    println!("{:<28} {:>12} {:>12}", "benchmark", "min", "mean");
+    for (name, mut f) in benches {
+        if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
+            continue;
+        }
+        let (min, mean) = time_runs(5, &mut *f);
+        println!(
+            "{name:<28} {:>10.3}ms {:>10.3}ms",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3
+        );
+    }
+}

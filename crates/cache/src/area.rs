@@ -5,10 +5,8 @@
 //! Piccolo-cache needs one short tag per 128 B line (≈2 %) plus an 8-bit fg-tag per 8 B
 //! sector (12.5 %). These functions reproduce those numbers for any geometry.
 
-use serde::{Deserialize, Serialize};
-
 /// Tag/metadata overhead of a cache organisation, as a fraction of the data capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TagOverhead {
     /// Per-line tag bits relative to data bits.
     pub line_tag_fraction: f64,

@@ -10,11 +10,10 @@
 
 use crate::stats::CacheStats;
 use piccolo_dram::{MemRequest, Region, RowId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics specific to the collection-extended MSHR.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectionMshrStats {
     /// Read misses pushed into GA-MSHR.
     pub read_pushes: u64,
@@ -32,7 +31,7 @@ pub struct CollectionMshrStats {
 
 /// Whether an emitted memory operation should use the Piccolo-FIM path or the NMP
 /// (buffer-chip) path. The MSHR logic is identical; only the request type differs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScatterGatherKind {
     /// Emit [`MemRequest::GatherFim`] / [`MemRequest::ScatterFim`].
     Fim,
@@ -252,7 +251,9 @@ mod tests {
         }
         assert_eq!(emitted.len(), 1);
         match &emitted[0] {
-            MemRequest::GatherFim { row: r, offsets, .. } => {
+            MemRequest::GatherFim {
+                row: r, offsets, ..
+            } => {
                 assert_eq!(*r, row);
                 assert_eq!(offsets.len(), 8);
             }
@@ -303,8 +304,14 @@ mod tests {
         let out = m.drain();
         assert_eq!(out.len(), 3);
         assert_eq!(m.occupancy(), 0);
-        assert!(matches!(out[0], MemRequest::GatherFim { row: RowId(10), .. }));
-        assert!(matches!(out[2], MemRequest::ScatterFim { row: RowId(12), .. }));
+        assert!(matches!(
+            out[0],
+            MemRequest::GatherFim { row: RowId(10), .. }
+        ));
+        assert!(matches!(
+            out[2],
+            MemRequest::ScatterFim { row: RowId(12), .. }
+        ));
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl PiccoloCache {
     pub fn new(cfg: PiccoloCacheConfig) -> Self {
         assert!(cfg.ways > 0, "ways must be positive");
         assert!(
-            cfg.line_bytes as u64 >= SECTOR_BYTES && cfg.line_bytes % 8 == 0,
+            cfg.line_bytes as u64 >= SECTOR_BYTES && cfg.line_bytes.is_multiple_of(8),
             "line must be a multiple of 8 B"
         );
         let sets = (cfg.capacity_bytes / (cfg.line_bytes as u64 * cfg.ways as u64)).max(1);
@@ -199,7 +199,7 @@ impl SectorCache for PiccoloCache {
                 Some(idx)
             } else {
                 // Evict a whole line belonging to another tag, chosen by LRU/RRIP.
-                let victim = (0..ways)
+                (0..ways)
                     .map(|w| start + w)
                     .filter(|&i| !same_tag_ways.contains(&i))
                     .min_by_key(|&i| match self.cfg.policy {
@@ -208,8 +208,7 @@ impl SectorCache for PiccoloCache {
                             // Higher RRPV = evict first; fall back to LRU order.
                             (u64::from(3 - self.lines[i].rrpv) << 60) | self.lines[i].lru
                         }
-                    });
-                victim
+                    })
             }
         } else {
             None
@@ -260,7 +259,8 @@ impl SectorCache for PiccoloCache {
                     });
                 let line = &self.lines[idx];
                 if line.sector_valid[fg_offset] && line.sector_dirty[fg_offset] {
-                    let a = self.sector_addr(line.tag, line.sector_fgtag[fg_offset], set, fg_offset);
+                    let a =
+                        self.sector_addr(line.tag, line.sector_fgtag[fg_offset], set, fg_offset);
                     actions.push(MissAction::Writeback {
                         addr: a,
                         bytes: SECTOR_BYTES as u32,
@@ -380,7 +380,11 @@ mod tests {
         let r = c.access(1 << 20, 8, false);
         assert!(matches!(
             r.actions.last().unwrap(),
-            MissAction::Fill { bytes: 8, useful: 8, .. }
+            MissAction::Fill {
+                bytes: 8,
+                useful: 8,
+                ..
+            }
         ));
     }
 
@@ -392,7 +396,7 @@ mod tests {
         let stride = c.sets() * 16 * 8;
         c.access(0, 8, true);
         c.begin_tile(4); // one way per tag -> forces sector replacement for same tag
-        // Fill the allowed way, then force an fg-tag conflict.
+                         // Fill the allowed way, then force an fg-tag conflict.
         let r = c.access(stride, 8, false);
         assert!(!r.hit);
         // Second access to the first address misses again (its sector was replaced) but
@@ -400,7 +404,10 @@ mod tests {
         assert_eq!(c.stats().line_evictions, 0);
         assert!(c.stats().sector_evictions >= 1);
         // The dirty evicted sector produced a writeback.
-        assert!(r.actions.iter().any(|a| matches!(a, MissAction::Writeback { addr: 0, bytes: 8 })));
+        assert!(r
+            .actions
+            .iter()
+            .any(|a| matches!(a, MissAction::Writeback { addr: 0, bytes: 8 })));
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl SectoredCache {
     ///
     /// Panics if `line_bytes` is not a positive multiple of 8 or `ways == 0`.
     pub fn with_line_size(capacity_bytes: u64, line_bytes: u32, ways: u32) -> Self {
-        assert!(line_bytes >= 8 && line_bytes % 8 == 0, "line must be a multiple of 8 B");
+        assert!(
+            line_bytes >= 8 && line_bytes.is_multiple_of(8),
+            "line must be a multiple of 8 B"
+        );
         assert!(ways > 0, "ways must be positive");
         let sets = (capacity_bytes / (line_bytes as u64 * ways as u64)).max(1);
         let sectors_per_line = line_bytes / SECTOR_BYTES;

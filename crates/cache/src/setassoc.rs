@@ -42,7 +42,10 @@ impl SetAssocCache {
     ///
     /// Panics if the capacity is smaller than one line per way or the line size is 0.
     pub fn new(name: &'static str, capacity_bytes: u64, line_bytes: u32, ways: u32) -> Self {
-        assert!(line_bytes > 0 && ways > 0, "line size and ways must be positive");
+        assert!(
+            line_bytes > 0 && ways > 0,
+            "line size and ways must be positive"
+        );
         let sets = (capacity_bytes / (line_bytes as u64 * ways as u64)).max(1);
         Self {
             name,
@@ -230,7 +233,14 @@ mod tests {
         let mut c = SetAssocCache::conventional(1024, 4);
         let first = c.access(100, 8, false);
         assert!(!first.hit);
-        assert!(matches!(first.actions[0], MissAction::Fill { bytes: 64, useful: 8, .. }));
+        assert!(matches!(
+            first.actions[0],
+            MissAction::Fill {
+                bytes: 64,
+                useful: 8,
+                ..
+            }
+        ));
         let second = c.access(96, 8, true);
         assert!(second.hit, "same 64B line should hit");
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -241,7 +251,10 @@ mod tests {
         let mut c = SetAssocCache::line8(1024, 4);
         c.access(0, 8, false);
         let r = c.access(8, 8, false);
-        assert!(!r.hit, "adjacent 8B words are different lines in an 8B-line cache");
+        assert!(
+            !r.hit,
+            "adjacent 8B words are different lines in an 8B-line cache"
+        );
     }
 
     #[test]
@@ -252,7 +265,10 @@ mod tests {
         c.access(0, 8, true);
         let r = c.access(128, 8, false);
         assert!(!r.hit);
-        assert!(r.actions.iter().any(|a| matches!(a, MissAction::Writeback { addr: 0, bytes: 64 })));
+        assert!(r
+            .actions
+            .iter()
+            .any(|a| matches!(a, MissAction::Writeback { addr: 0, bytes: 64 })));
         assert_eq!(c.stats().line_evictions, 1);
     }
 
@@ -284,6 +300,9 @@ mod tests {
         assert!(SetAssocCache::amoeba(1 << 20, 8).capacity_bytes() < full);
         assert!(SetAssocCache::graphfire(1 << 20, 8).capacity_bytes() < full);
         assert!(SetAssocCache::scrabble(1 << 20, 8).capacity_bytes() <= full);
-        assert_eq!(SetAssocCache::conventional(1 << 20, 8).name(), "Conventional64B");
+        assert_eq!(
+            SetAssocCache::conventional(1 << 20, 8).name(),
+            "Conventional64B"
+        );
     }
 }

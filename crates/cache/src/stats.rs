@@ -1,9 +1,7 @@
 //! Cache statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by every cache model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,

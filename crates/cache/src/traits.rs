@@ -8,10 +8,9 @@
 //! cache design "on top of Piccolo-FIM".
 
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// What a cache needs from the memory system after an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MissAction {
     /// Bring `bytes` at `addr` on chip; only `useful` of them were actually requested by
     /// the program (the rest is over-fetch, counted as "unuseful" in Fig. 3).
@@ -66,7 +65,7 @@ impl AccessResult {
 }
 
 /// Replacement policies evaluated for Piccolo-cache (Fig. 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Least recently used.
     Lru,

@@ -1,13 +1,19 @@
-//! Property-based tests on the cache models: inclusion/consistency invariants that must
+//! Property-style tests on the cache models: inclusion/consistency invariants that must
 //! hold for any access sequence, and the relative behaviour the paper relies on
 //! (Piccolo-cache ≈ 8 B-line cache; sectored cache wastes capacity under sparse access).
+//!
+//! No crates.io access in the build container, so instead of `proptest` these run seeded
+//! random cases through [`piccolo_graph::rng::Rng64`]; a failing seed is printed in the
+//! assertion message.
 
 use piccolo_cache::{
     MissAction, PiccoloCache, PiccoloCacheConfig, ReplacementPolicy, SectorCache, SectoredCache,
     SetAssocCache,
 };
-use proptest::prelude::*;
+use piccolo_graph::rng::Rng64;
 use std::collections::HashMap;
+
+const CASES: u64 = 32;
 
 /// A simple oracle that tracks, per 8-byte word, the last written value origin so we can
 /// verify write-back completeness: every dirty word must either still be in the cache or
@@ -67,38 +73,53 @@ fn check_writeback_conservation_inner<C: SectorCache>(
     }
 }
 
-fn arb_ops(max_addr: u64) -> impl Strategy<Value = Vec<(u64, bool)>> {
-    proptest::collection::vec((0..max_addr, any::<bool>()), 1..400)
+/// Random access trace: 1..400 (address, is_write) pairs below `max_addr`.
+fn random_ops(rng: &mut Rng64, max_addr: u64) -> Vec<(u64, bool)> {
+    let len = 1 + rng.gen_index(399);
+    (0..len)
+        .map(|_| (rng.gen_u64_below(max_addr), rng.gen_bool(0.5)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Dirty data is never lost by any cache design.
-    #[test]
-    fn writeback_conservation_conventional(ops in arb_ops(1 << 16)) {
+/// Dirty data is never lost by any cache design.
+#[test]
+fn writeback_conservation_conventional() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 16);
         // 64 B line write-backs carry neighbouring never-written words, so only the
         // "no dirty data lost" direction is checked for the conventional cache.
         check_writeback_conservation_inner(&mut SetAssocCache::conventional(4096, 4), &ops, false);
     }
+}
 
-    #[test]
-    fn writeback_conservation_line8(ops in arb_ops(1 << 16)) {
+#[test]
+fn writeback_conservation_line8() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 16);
         check_writeback_conservation(SetAssocCache::line8(2048, 4), &ops);
     }
+}
 
-    #[test]
-    fn writeback_conservation_sectored(ops in arb_ops(1 << 16)) {
+#[test]
+fn writeback_conservation_sectored() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 16);
         check_writeback_conservation(SectoredCache::new(4096, 4), &ops);
     }
+}
 
-    #[test]
-    fn writeback_conservation_piccolo(ops in arb_ops(1 << 16)) {
+#[test]
+fn writeback_conservation_piccolo() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 16);
         check_writeback_conservation(PiccoloCache::with_capacity(4096), &ops);
     }
+}
 
-    #[test]
-    fn writeback_conservation_piccolo_rrip(ops in arb_ops(1 << 16)) {
+#[test]
+fn writeback_conservation_piccolo_rrip() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 16);
         check_writeback_conservation(
             PiccoloCache::new(PiccoloCacheConfig {
                 capacity_bytes: 4096,
@@ -108,11 +129,14 @@ proptest! {
             &ops,
         );
     }
+}
 
-    /// A second identical read always hits, in every design.
-    #[test]
-    fn immediate_rereference_hits(addr in 0u64..(1 << 20)) {
-        let addr = addr & !7;
+/// A second identical read always hits, in every design.
+#[test]
+fn immediate_rereference_hits() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let addr = rng.gen_u64_below(1 << 20) & !7;
         let mut caches: Vec<Box<dyn SectorCache>> = vec![
             Box::new(SetAssocCache::conventional(8192, 8)),
             Box::new(SetAssocCache::line8(8192, 8)),
@@ -121,21 +145,28 @@ proptest! {
         ];
         for cache in caches.iter_mut() {
             cache.access(addr, 8, false);
-            prop_assert!(cache.access(addr, 8, false).hit, "{} must hit", cache.name());
+            assert!(
+                cache.access(addr, 8, false).hit,
+                "seed {seed}: {} must hit",
+                cache.name()
+            );
         }
     }
+}
 
-    /// Hit/miss counters always add up and fills never exceed accesses.
-    #[test]
-    fn stats_are_consistent(ops in arb_ops(1 << 18)) {
+/// Hit/miss counters always add up and fills never exceed accesses.
+#[test]
+fn stats_are_consistent() {
+    for seed in 0..CASES {
+        let ops = random_ops(&mut Rng64::seed_from_u64(seed), 1 << 18);
         let mut cache = PiccoloCache::with_capacity(8192);
         for &(addr, write) in &ops {
             cache.access(addr & !7, 8, write);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert_eq!(s.accesses, ops.len() as u64);
-        prop_assert!(s.fill_bytes <= s.misses * 8);
+        assert_eq!(s.hits + s.misses, s.accesses, "seed {seed}");
+        assert_eq!(s.accesses, ops.len() as u64, "seed {seed}");
+        assert!(s.fill_bytes <= s.misses * 8, "seed {seed}");
     }
 }
 
@@ -144,8 +175,7 @@ proptest! {
 /// same capacity.
 #[test]
 fn piccolo_cache_tracks_ideal_8b_cache_on_sparse_random_accesses() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let mut rng = Rng64::seed_from_u64(42);
 
     let capacity = 64 * 1024u64;
     let mut piccolo = PiccoloCache::with_capacity(capacity);
@@ -160,9 +190,9 @@ fn piccolo_cache_tracks_ideal_8b_cache_on_sparse_random_accesses() {
 
     // Sparse random accesses: 4K distinct hot words spread over a 4 MiB range (so 64 B
     // lines are mostly wasted), re-accessed with a skewed distribution.
-    let hot: Vec<u64> = (0..4096).map(|_| rng.gen_range(0u64..(4 << 20)) & !7).collect();
+    let hot: Vec<u64> = (0..4096).map(|_| rng.gen_u64_below(4 << 20) & !7).collect();
     for _ in 0..200_000 {
-        let idx = (rng.gen_range(0f64..1f64).powi(2) * hot.len() as f64) as usize;
+        let idx = (rng.gen_f64().powi(2) * hot.len() as f64) as usize;
         let addr = hot[idx.min(hot.len() - 1)];
         piccolo.access(addr, 8, false);
         ideal.access(addr, 8, false);
@@ -186,12 +216,11 @@ fn piccolo_cache_tracks_ideal_8b_cache_on_sparse_random_accesses() {
 /// (the Fig. 3 motivation): the fill traffic is 8x the useful traffic.
 #[test]
 fn conventional_cache_overfetches_on_sparse_accesses() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut rng = Rng64::seed_from_u64(7);
     let mut conv = SetAssocCache::conventional(16 * 1024, 8);
     let mut useful = 0u64;
     for _ in 0..50_000 {
-        let addr = rng.gen_range(0u64..(16 << 20)) & !7;
+        let addr = rng.gen_u64_below(16 << 20) & !7;
         let r = conv.access(addr, 8, false);
         for a in r.actions {
             if let MissAction::Fill { useful: u, .. } = a {
@@ -200,5 +229,10 @@ fn conventional_cache_overfetches_on_sparse_accesses() {
         }
     }
     let s = conv.stats();
-    assert!(s.fill_bytes >= useful * 7, "fills {} useful {}", s.fill_bytes, useful);
+    assert!(
+        s.fill_bytes >= useful * 7,
+        "fills {} useful {}",
+        s.fill_bytes,
+        useful
+    );
 }

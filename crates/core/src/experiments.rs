@@ -13,10 +13,9 @@ use piccolo_accel::{
 use piccolo_algo::{Algorithm, Bfs, ConnectedComponents, PageRank, Sssp, Sswp, VertexProgram};
 use piccolo_dram::{DramConfig, MemoryKind};
 use piccolo_graph::{Csr, Dataset};
-use serde::{Deserialize, Serialize};
 
 /// Scale of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Right shift applied to the paper's dataset sizes (and to the on-chip structures).
     pub scale_shift: u32,
@@ -47,7 +46,7 @@ impl Scale {
 }
 
 /// One measured data point: a label (matching the paper's x-axis) and a value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Row label, e.g. "PR/TW/Piccolo".
     pub label: String,
@@ -92,7 +91,10 @@ pub fn fig03(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
     let mut out = Vec::new();
     for d in datasets {
         let g = d.build(scale.scale_shift, scale.seed);
-        for (mode, tiling) in [("Non-Tiling", TilingPolicy::None), ("Perfect", TilingPolicy::Perfect)] {
+        for (mode, tiling) in [
+            ("Non-Tiling", TilingPolicy::None),
+            ("Perfect", TilingPolicy::Perfect),
+        ] {
             let cfg = config(SystemKind::GraphDynsCache, scale)
                 .with_tiling(tiling)
                 .with_max_iterations(40);
@@ -134,7 +136,8 @@ pub fn fig09() -> Vec<Point> {
                 .elapsed_clocks();
             let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
             let mut fim = MemorySystem::new(fim_cfg);
-            let mut by_row: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+            let mut by_row: std::collections::HashMap<_, Vec<u16>> =
+                std::collections::HashMap::new();
             let mut order = Vec::new();
             for i in 0..items {
                 let a = addr_of(i);
@@ -255,15 +258,29 @@ pub fn fig13(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Ve
     for alg in algorithms {
         for d in datasets {
             let g = d.build(scale.scale_shift, scale.seed);
-            for system in [SystemKind::GraphDynsCache, SystemKind::Pim, SystemKind::Piccolo] {
+            for system in [
+                SystemKind::GraphDynsCache,
+                SystemKind::Pim,
+                SystemKind::Piccolo,
+            ] {
                 let r = run_algorithm(&g, *alg, &config(system, scale));
                 out.push(Point {
-                    label: format!("{}/{}/{}/offchip GB-s", alg.short_name(), d.short_name(), system.name()),
+                    label: format!(
+                        "{}/{}/{}/offchip GB-s",
+                        alg.short_name(),
+                        d.short_name(),
+                        system.name()
+                    ),
                     value: r.offchip_bandwidth_gbps(),
                 });
                 if system != SystemKind::GraphDynsCache {
                     out.push(Point {
-                        label: format!("{}/{}/{}/internal GB-s", alg.short_name(), d.short_name(), system.name()),
+                        label: format!(
+                            "{}/{}/{}/internal GB-s",
+                            alg.short_name(),
+                            d.short_name(),
+                            system.name()
+                        ),
                         value: r.internal_bandwidth_gbps(),
                     });
                 }
@@ -288,7 +305,11 @@ pub fn fig14(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Ve
                 ("acc", base.energy.accelerator_nj, pic.energy.accelerator_nj),
                 ("cache", base.energy.cache_nj, pic.energy.cache_nj),
                 ("dram_rd", base.energy.dram_read_nj, pic.energy.dram_read_nj),
-                ("dram_wr", base.energy.dram_write_nj, pic.energy.dram_write_nj),
+                (
+                    "dram_wr",
+                    base.energy.dram_write_nj,
+                    pic.energy.dram_write_nj,
+                ),
                 ("dram_io", base.energy.dram_io_nj, pic.energy.dram_io_nj),
                 ("others", base.energy.others_nj, pic.energy.others_nj),
             ] {
@@ -320,7 +341,12 @@ pub fn fig15(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Po
                 let cfg = config(system, scale).with_dram(dram);
                 let r = run_algorithm(&g, *alg, &cfg);
                 out.push(Point {
-                    label: format!("{}/{}/{}/cycles", alg.short_name(), kind.name(), system.name()),
+                    label: format!(
+                        "{}/{}/{}/cycles",
+                        alg.short_name(),
+                        kind.name(),
+                        system.name()
+                    ),
                     value: r.accel_cycles as f64,
                 });
             }
@@ -376,7 +402,12 @@ pub fn fig17(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Po
                 let cfg = config(system, scale).with_tiling(TilingPolicy::Scaled(factor));
                 let r = run_algorithm(&g, *alg, &cfg);
                 out.push(Point {
-                    label: format!("{}/x{}/{}/norm-cycles", alg.short_name(), factor, system.name()),
+                    label: format!(
+                        "{}/x{}/{}/norm-cycles",
+                        alg.short_name(),
+                        factor,
+                        system.name()
+                    ),
                     value: r.accel_cycles as f64 / base_ref.accel_cycles.max(1) as f64,
                 });
             }
@@ -399,7 +430,11 @@ pub fn fig18(scale: Scale) -> Vec<Point> {
     ];
     for d in datasets {
         let g = d.build(scale.scale_shift, scale.seed);
-        let base = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::GraphDynsCache, scale));
+        let base = run_algorithm(
+            &g,
+            Algorithm::PageRank,
+            &config(SystemKind::GraphDynsCache, scale),
+        );
         for system in [
             SystemKind::GraphDynsSpm,
             SystemKind::GraphDynsCache,
@@ -428,7 +463,11 @@ pub fn fig19a(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
     for d in datasets {
         let g = d.build(scale.scale_shift, scale.seed);
         let pr = PageRank::default();
-        let vc_base = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::GraphDynsCache, scale));
+        let vc_base = run_algorithm(
+            &g,
+            Algorithm::PageRank,
+            &config(SystemKind::GraphDynsCache, scale),
+        );
         let vc_pic = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::Piccolo, scale));
         let ec_base = run_algorithm_ec(&g, &pr, &config(SystemKind::GraphDynsCache, scale));
         let ec_pic = run_algorithm_ec(&g, &pr, &config(SystemKind::Piccolo, scale));
@@ -549,7 +588,10 @@ mod tests {
             .find(|p| p.label == "GM/Piccolo")
             .expect("GM row present");
         assert!(gm_piccolo.value > 0.5);
-        let base = pts.iter().find(|p| p.label == "GM/GraphDyns (Cache)").unwrap();
+        let base = pts
+            .iter()
+            .find(|p| p.label == "GM/GraphDyns (Cache)")
+            .unwrap();
         assert!((base.value - 1.0).abs() < 1e-9);
     }
 

@@ -6,10 +6,9 @@
 //! conventional system pays one 64 B burst per tuple while Piccolo pays ~8 B.
 
 use piccolo_dram::{AddressMapper, DramConfig, MemRequest, MemorySystem, Region, RowId};
-use serde::{Deserialize, Serialize};
 
 /// One OLAP query class: a column scan over a table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OlapQuery {
     /// Query name (Qa..Qd).
     pub name: &'static str,
@@ -26,16 +25,36 @@ impl OlapQuery {
     /// projected column counts).
     pub fn suite(tuples: u64) -> [OlapQuery; 4] {
         [
-            OlapQuery { name: "Qa", tuple_bytes: 64, tuples, columns: 1 },
-            OlapQuery { name: "Qb", tuple_bytes: 128, tuples, columns: 1 },
-            OlapQuery { name: "Qc", tuple_bytes: 128, tuples, columns: 2 },
-            OlapQuery { name: "Qd", tuple_bytes: 256, tuples, columns: 1 },
+            OlapQuery {
+                name: "Qa",
+                tuple_bytes: 64,
+                tuples,
+                columns: 1,
+            },
+            OlapQuery {
+                name: "Qb",
+                tuple_bytes: 128,
+                tuples,
+                columns: 1,
+            },
+            OlapQuery {
+                name: "Qc",
+                tuple_bytes: 128,
+                tuples,
+                columns: 2,
+            },
+            OlapQuery {
+                name: "Qd",
+                tuple_bytes: 256,
+                tuples,
+                columns: 1,
+            },
         ]
     }
 }
 
 /// Result of running one query on one memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OlapResult {
     /// Elapsed memory clocks.
     pub clocks: u64,
@@ -131,7 +150,12 @@ mod tests {
     #[test]
     fn piccolo_moves_fewer_bytes() {
         let cfg = DramConfig::ddr4_2400_x16();
-        let q = OlapQuery { name: "Qd", tuple_bytes: 256, tuples: 10_000, columns: 1 };
+        let q = OlapQuery {
+            name: "Qd",
+            tuple_bytes: 256,
+            tuples: 10_000,
+            columns: 1,
+        };
         let conv = run_conventional(&q, cfg);
         let pic = run_piccolo(&q, cfg);
         assert!(pic.offchip_bytes * 2 < conv.offchip_bytes);

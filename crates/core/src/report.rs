@@ -3,10 +3,9 @@
 use piccolo_accel::RunResult;
 use piccolo_cache::area::{piccolo_overhead, set_assoc_overhead};
 use piccolo_dram::{dram_energy, DramConfig, DramEnergy, EnergyParams};
-use serde::{Deserialize, Serialize};
 
 /// Energy breakdown following the categories of Fig. 14.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Accelerator (PE array, prefetcher, crossbar) energy in nanojoules.
     pub accelerator_nj: f64,
@@ -36,7 +35,7 @@ impl EnergyBreakdown {
 
 /// Energy-model constants for the on-chip side (CACTI-class numbers; the DRAM side lives
 /// in [`EnergyParams`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnChipEnergyParams {
     /// Accelerator dynamic energy per processed edge (nJ).
     pub accel_nj_per_edge: f64,
@@ -60,7 +59,7 @@ impl Default for OnChipEnergyParams {
 }
 
 /// A full simulation report: the raw [`RunResult`] plus the derived energy breakdown.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// The raw simulation result.
     pub run: RunResult,
@@ -71,7 +70,12 @@ pub struct SimReport {
 impl SimReport {
     /// Builds a report from a run, using default energy constants.
     pub fn from_run(run: RunResult, dram: &DramConfig) -> Self {
-        Self::with_params(run, dram, &EnergyParams::default(), &OnChipEnergyParams::default())
+        Self::with_params(
+            run,
+            dram,
+            &EnergyParams::default(),
+            &OnChipEnergyParams::default(),
+        )
     }
 
     /// Builds a report with explicit energy constants.
@@ -108,7 +112,7 @@ impl SimReport {
 }
 
 /// Area report reproducing the numbers of Section VII-F.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaReport {
     /// Baseline accelerator area (mm^2), from the paper's RTL synthesis.
     pub baseline_accelerator_mm2: f64,

@@ -6,10 +6,9 @@
 //! row:rank:bank:column:channel:offset layout used by graph accelerator studies.
 
 use crate::config::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Fully decomposed DRAM coordinates of a byte address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Channel index.
     pub channel: u32,
@@ -35,11 +34,11 @@ impl Location {
 
 /// A globally unique identifier of one DRAM row: `(channel, rank, bank, row)` packed into
 /// a single integer so it can key hash maps cheaply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub u64);
 
 /// Address mapper derived from a [`DramConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AddressMapper {
     burst_bits: u32,
     channel_bits: u32,
@@ -150,7 +149,10 @@ mod tests {
         let m = AddressMapper::new(&cfg);
         let a = m.decompose(0);
         let b = m.decompose(64);
-        assert_ne!(a.channel, b.channel, "adjacent bursts interleave across channels");
+        assert_ne!(
+            a.channel, b.channel,
+            "adjacent bursts interleave across channels"
+        );
         let c = m.decompose(128);
         assert_eq!(a.channel, c.channel);
         assert_eq!(a.row, c.row);
@@ -211,6 +213,9 @@ mod tests {
         for i in 0..64u64 {
             banks.insert(m.decompose(i * cfg.org.row_bytes).bank);
         }
-        assert!(banks.len() >= 4, "row-granularity strides should hit several banks");
+        assert!(
+            banks.len() >= 4,
+            "row-granularity strides should hit several banks"
+        );
     }
 }

@@ -5,10 +5,8 @@
 //! expressed in memory-controller clock cycles (`nCK`), mirroring how Ramulator and the
 //! DDR4 specification state them.
 
-use serde::{Deserialize, Serialize};
-
 /// The memory device families evaluated in Fig. 15.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     /// DDR4-2400 with x4 devices (16 chips per rank).
     Ddr4X4,
@@ -49,7 +47,7 @@ impl MemoryKind {
 }
 
 /// DRAM timing parameters in memory-clock cycles (`nCK`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
     /// ACT to internal RD/WR delay.
     pub t_rcd: u64,
@@ -84,7 +82,7 @@ pub struct Timing {
 }
 
 /// Physical organization of the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Organization {
     /// Number of independent channels.
     pub channels: u32,
@@ -119,7 +117,7 @@ impl Organization {
 }
 
 /// Piccolo-FIM configuration (Section IV/VI and the enhanced designs of Fig. 20a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FimConfig {
     /// Whether the memory devices implement the Piccolo-FIM offset/data buffers.
     pub enabled: bool,
@@ -158,13 +156,15 @@ impl FimConfig {
         if self.long_burst {
             1
         } else {
-            (self.items_per_op as u64 * 8).div_ceil(org.burst_bytes).max(1)
+            (self.items_per_op as u64 * 8)
+                .div_ceil(org.burst_bytes)
+                .max(1)
         }
     }
 }
 
 /// Complete memory-system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Device family.
     pub kind: MemoryKind,

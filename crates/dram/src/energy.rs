@@ -10,11 +10,10 @@
 
 use crate::config::DramConfig;
 use crate::stats::MemStats;
-use serde::{Deserialize, Serialize};
 
 /// Per-operation energy constants in nanojoules (per rank-level operation / per 64 B of
 /// data) plus background power in watts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy of one activate + precharge pair.
     pub act_pre_nj: f64,
@@ -48,7 +47,7 @@ impl Default for EnergyParams {
 }
 
 /// DRAM energy broken down into the categories of Fig. 14.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DramEnergy {
     /// Read-path core energy (activations attributed to reads + read bursts + internal
     /// column reads), in nanojoules.
@@ -87,8 +86,8 @@ pub fn dram_energy(
 
     // Internal column accesses: gathers are internal reads, scatters internal writes, PIM
     // updates one read + one write.
-    let internal_reads = (stats.fim_gathers + stats.nmp_ops / 2) as f64 * 8.0
-        + stats.pim_updates as f64;
+    let internal_reads =
+        (stats.fim_gathers + stats.nmp_ops / 2) as f64 * 8.0 + stats.pim_updates as f64;
     let internal_writes =
         (stats.fim_scatters + stats.nmp_ops / 2) as f64 * 8.0 + stats.pim_updates as f64;
 
@@ -125,8 +124,10 @@ mod tests {
     fn io_scales_with_offchip_bytes() {
         let cfg = DramConfig::default();
         let p = EnergyParams::default();
-        let mut s = MemStats::default();
-        s.offchip_bytes = 64 * 1000;
+        let mut s = MemStats {
+            offchip_bytes: 64 * 1000,
+            ..Default::default()
+        };
         let e1 = dram_energy(&cfg, &p, &s, 1000.0);
         s.offchip_bytes = 64 * 2000;
         let e2 = dram_energy(&cfg, &p, &s, 1000.0);

@@ -2,11 +2,10 @@
 //! stream buffers) and the DRAM model.
 
 use crate::address::RowId;
-use serde::{Deserialize, Serialize};
 
 /// Classification of what a request is for; used only for statistics (the useful/unuseful
 /// breakdown of Fig. 3 and the read/write split of Fig. 12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// CSR row-offset array.
     TopologyRow,
@@ -30,7 +29,7 @@ pub enum Region {
 /// * [`MemRequest::GatherNmp`] / [`MemRequest::ScatterNmp`] — the rank-level (buffer-chip)
 ///   scatter-gather of the NMP baseline,
 /// * [`MemRequest::PimUpdate`] — the near-bank Process/Reduce/Apply of the PIM baseline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemRequest {
     /// Read one burst at `addr`. `useful_bytes` says how much of the burst the requester
     /// actually needed (for the Fig. 3 breakdown).

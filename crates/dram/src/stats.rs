@@ -1,9 +1,7 @@
 //! Statistics collected by the DRAM model.
 
-use serde::{Deserialize, Serialize};
-
 /// Command/traffic counters accumulated while servicing requests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MemStats {
     /// Row activations issued.
     pub activations: u64,

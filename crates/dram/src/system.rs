@@ -15,11 +15,10 @@ use crate::address::{AddressMapper, RowId};
 use crate::config::DramConfig;
 use crate::request::MemRequest;
 use crate::stats::MemStats;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Kinds of DRAM commands recorded in the (optional) verification trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommandKind {
     /// Row activation.
     Act,
@@ -32,7 +31,7 @@ pub enum CommandKind {
 }
 
 /// One command in the verification trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommandRecord {
     /// Issue time in memory clocks.
     pub time: u64,
@@ -113,7 +112,7 @@ impl ChannelState {
 }
 
 /// Result of servicing one batch of requests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BatchResult {
     /// Time (memory clocks) at which the batch started.
     pub start_clock: u64,
@@ -336,14 +335,10 @@ impl MemorySystem {
     fn plan(&self, req: &MemRequest, earliest: u64) -> Plan {
         match req {
             MemRequest::Read {
-                addr,
-                useful_bytes,
-                ..
+                addr, useful_bytes, ..
             } => self.plan_simple(*addr, false, *useful_bytes, earliest),
             MemRequest::Write {
-                addr,
-                useful_bytes,
-                ..
+                addr, useful_bytes, ..
             } => self.plan_simple(*addr, true, *useful_bytes, earliest),
             MemRequest::GatherFim { row, offsets, .. } => {
                 self.plan_fim(*row, offsets.len() as u64, false, earliest)

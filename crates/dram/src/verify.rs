@@ -21,9 +21,15 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} at t={} (bank {}/{}/{})",
-            self.constraint, self.command.time, self.command.channel, self.command.rank,
-            self.command.bank)
+        write!(
+            f,
+            "{} at t={} (bank {}/{}/{})",
+            self.constraint,
+            self.command.time,
+            self.command.channel,
+            self.command.rank,
+            self.command.bank
+        )
     }
 }
 
@@ -75,7 +81,11 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
                 if let Some(&last) = acts.last() {
                     if rec.time < last + t.t_rrd {
                         violations.push(Violation {
-                            constraint: format!("tRRD: ACT-to-ACT {} < {}", rec.time - last, t.t_rrd),
+                            constraint: format!(
+                                "tRRD: ACT-to-ACT {} < {}",
+                                rec.time - last,
+                                t.t_rrd
+                            ),
                             command: *rec,
                         });
                     }
@@ -84,7 +94,11 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
                     let fourth = acts[acts.len() - 4];
                     if rec.time < fourth + t.t_faw {
                         violations.push(Violation {
-                            constraint: format!("tFAW: 5th ACT within {} < {}", rec.time - fourth, t.t_faw),
+                            constraint: format!(
+                                "tFAW: 5th ACT within {} < {}",
+                                rec.time - fourth,
+                                t.t_faw
+                            ),
                             command: *rec,
                         });
                     }
@@ -96,7 +110,11 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
                 if let Some(act) = hist.last_act {
                     if rec.time < act + t.t_ras {
                         violations.push(Violation {
-                            constraint: format!("tRAS: ACT-to-PRE {} < {}", rec.time - act, t.t_ras),
+                            constraint: format!(
+                                "tRAS: ACT-to-PRE {} < {}",
+                                rec.time - act,
+                                t.t_ras
+                            ),
                             command: *rec,
                         });
                     }
@@ -127,7 +145,11 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
                 if let Some(act) = hist.last_act {
                     if rec.time < act + t.t_rcd {
                         violations.push(Violation {
-                            constraint: format!("tRCD: ACT-to-column {} < {}", rec.time - act, t.t_rcd),
+                            constraint: format!(
+                                "tRCD: ACT-to-column {} < {}",
+                                rec.time - act,
+                                t.t_rcd
+                            ),
                             command: *rec,
                         });
                     }
@@ -142,10 +164,7 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
                 } else {
                     hist.last_wr_data_end = Some(rec.bus.1);
                 }
-                bus_intervals
-                    .entry(rec.channel)
-                    .or_default()
-                    .push(rec.bus);
+                bus_intervals.entry(rec.channel).or_default().push(rec.bus);
             }
         }
     }

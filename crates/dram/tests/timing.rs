@@ -1,114 +1,148 @@
-//! Property-based timing tests: arbitrary request mixes must never violate DDR timing
+//! Property-style timing tests: arbitrary request mixes must never violate DDR timing
 //! constraints, and higher-level invariants (traffic accounting, monotonic time) must
 //! hold. This is the software stand-in for the paper's FPGA protocol validation
 //! (Section VII-B).
+//!
+//! No crates.io access in the build container, so instead of `proptest` these run seeded
+//! random cases through [`piccolo_graph::rng::Rng64`]; a failing seed is printed in the
+//! assertion message.
 
 use piccolo_dram::{
     check_trace, AddressMapper, DramConfig, MemRequest, MemoryKind, MemorySystem, Region,
 };
-use proptest::prelude::*;
+use piccolo_graph::rng::Rng64;
 
-/// Strategy generating an arbitrary mix of reads, writes, FIM, NMP and PIM requests.
-fn arb_requests(cfg: DramConfig) -> impl Strategy<Value = Vec<MemRequest>> {
+const CASES: u64 = 48;
+
+/// Generates an arbitrary mix of 1..200 reads, writes, FIM, NMP and PIM requests.
+fn random_requests(rng: &mut Rng64, cfg: DramConfig) -> Vec<MemRequest> {
     let mapper = AddressMapper::new(&cfg);
     let addr_space = 1u64 << 28;
-    proptest::collection::vec(
-        (0u8..7, 0u64..addr_space, 1usize..=8),
-        1..200,
-    )
-    .prop_map(move |entries| {
-        entries
-            .into_iter()
-            .map(|(kind, addr, items)| {
-                let addr = addr & !7; // 8-byte aligned
-                let row = mapper.row_id(addr);
-                let offsets: Vec<u16> = (0..items as u16).collect();
-                match kind {
-                    0 | 1 => MemRequest::Read {
-                        addr,
-                        useful_bytes: 8,
-                        region: Region::PropertyRandom,
-                    },
-                    2 => MemRequest::Write {
-                        addr,
-                        useful_bytes: 8,
-                        region: Region::PropertyRandom,
-                    },
-                    3 => MemRequest::GatherFim {
-                        row,
-                        offsets,
-                        region: Region::PropertyRandom,
-                    },
-                    4 => MemRequest::ScatterFim {
-                        row,
-                        offsets,
-                        region: Region::PropertyRandom,
-                    },
-                    5 => MemRequest::GatherNmp {
-                        row,
-                        offsets,
-                        region: Region::PropertyRandom,
-                    },
-                    _ => MemRequest::PimUpdate {
-                        addr,
-                        region: Region::PropertyRandom,
-                    },
-                }
-            })
-            .collect()
-    })
+    let len = 1 + rng.gen_index(199);
+    (0..len)
+        .map(|_| {
+            let kind = rng.gen_u32_below(7) as u8;
+            let addr = rng.gen_u64_below(addr_space) & !7; // 8-byte aligned
+            let items = 1 + rng.gen_index(8);
+            let row = mapper.row_id(addr);
+            let offsets: Vec<u16> = (0..items as u16).collect();
+            match kind {
+                0 | 1 => MemRequest::Read {
+                    addr,
+                    useful_bytes: 8,
+                    region: Region::PropertyRandom,
+                },
+                2 => MemRequest::Write {
+                    addr,
+                    useful_bytes: 8,
+                    region: Region::PropertyRandom,
+                },
+                3 => MemRequest::GatherFim {
+                    row,
+                    offsets,
+                    region: Region::PropertyRandom,
+                },
+                4 => MemRequest::ScatterFim {
+                    row,
+                    offsets,
+                    region: Region::PropertyRandom,
+                },
+                5 => MemRequest::GatherNmp {
+                    row,
+                    offsets,
+                    region: Region::PropertyRandom,
+                },
+                _ => MemRequest::PimUpdate {
+                    addr,
+                    region: Region::PropertyRandom,
+                },
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No request mix may produce a command trace that violates DDR timing constraints.
-    #[test]
-    fn timing_constraints_hold_for_arbitrary_mixes(reqs in arb_requests(DramConfig::ddr4_2400_x16().with_fim())) {
-        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16().with_fim());
+/// No request mix may produce a command trace that violates DDR timing constraints.
+#[test]
+fn timing_constraints_hold_for_arbitrary_mixes() {
+    for seed in 0..CASES {
+        let cfg = DramConfig::ddr4_2400_x16().with_fim();
+        let reqs = random_requests(&mut Rng64::seed_from_u64(seed), cfg);
+        let mut mem = MemorySystem::new(cfg);
         mem.enable_trace();
         mem.service_batch(reqs);
         let violations = check_trace(mem.config(), mem.trace().unwrap());
-        prop_assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: violations: {:?}",
+            &violations[..violations.len().min(3)]
+        );
     }
+}
 
-    /// The same holds for a single-channel single-rank configuration where contention is
-    /// maximal.
-    #[test]
-    fn timing_constraints_hold_on_minimal_config(reqs in arb_requests(DramConfig::new(MemoryKind::Ddr4X16, 1, 1).with_fim())) {
-        let mut mem = MemorySystem::new(DramConfig::new(MemoryKind::Ddr4X16, 1, 1).with_fim());
+/// The same holds for a single-channel single-rank configuration where contention is
+/// maximal.
+#[test]
+fn timing_constraints_hold_on_minimal_config() {
+    for seed in 0..CASES {
+        let cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 1).with_fim();
+        let reqs = random_requests(&mut Rng64::seed_from_u64(seed), cfg);
+        let mut mem = MemorySystem::new(cfg);
         mem.enable_trace();
         mem.service_batch(reqs);
         let violations = check_trace(mem.config(), mem.trace().unwrap());
-        prop_assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: violations: {:?}",
+            &violations[..violations.len().min(3)]
+        );
     }
+}
 
-    /// Useful bytes never exceed transferred bytes, and time is monotonic.
-    #[test]
-    fn traffic_accounting_is_consistent(reqs in arb_requests(DramConfig::ddr4_2400_x16().with_fim())) {
-        let mut mem = MemorySystem::new(DramConfig::ddr4_2400_x16().with_fim());
+/// Useful bytes never exceed transferred bytes, and time is monotonic.
+#[test]
+fn traffic_accounting_is_consistent() {
+    for seed in 0..CASES {
+        let cfg = DramConfig::ddr4_2400_x16().with_fim();
+        let reqs = random_requests(&mut Rng64::seed_from_u64(seed), cfg);
+        let mut mem = MemorySystem::new(cfg);
         let n = reqs.len() as u64;
         let batch = mem.service_batch(reqs);
-        prop_assert_eq!(batch.requests, n);
-        prop_assert!(batch.end_clock >= batch.start_clock);
+        assert_eq!(batch.requests, n, "seed {seed}");
+        assert!(batch.end_clock >= batch.start_clock, "seed {seed}");
         let s = mem.stats();
-        prop_assert!(s.useful_offchip_bytes <= s.offchip_bytes);
-        prop_assert!(s.row_hits + s.row_misses >= n);
+        assert!(s.useful_offchip_bytes <= s.offchip_bytes, "seed {seed}");
+        assert!(s.row_hits + s.row_misses >= n, "seed {seed}");
     }
+}
 
-    /// Servicing requests in two batches takes at least as long as one batch (no lost
-    /// work), and produces identical traffic counters.
-    #[test]
-    fn batching_does_not_change_traffic(reqs in arb_requests(DramConfig::ddr4_2400_x16())) {
-        let mut one = MemorySystem::new(DramConfig::ddr4_2400_x16());
+/// Servicing requests in two batches takes at least as long as one batch (no lost
+/// work), and produces identical traffic counters.
+#[test]
+fn batching_does_not_change_traffic() {
+    for seed in 0..CASES {
+        let cfg = DramConfig::ddr4_2400_x16();
+        let reqs = random_requests(&mut Rng64::seed_from_u64(seed), cfg);
+        let mut one = MemorySystem::new(cfg);
         one.service_batch(reqs.clone());
-        let mut two = MemorySystem::new(DramConfig::ddr4_2400_x16());
+        let mut two = MemorySystem::new(cfg);
         let mid = reqs.len() / 2;
         two.service_batch(reqs[..mid].to_vec());
         two.service_batch(reqs[mid..].to_vec());
-        prop_assert_eq!(one.stats().offchip_bytes, two.stats().offchip_bytes);
-        prop_assert_eq!(one.stats().read_transactions, two.stats().read_transactions);
-        prop_assert_eq!(one.stats().write_transactions, two.stats().write_transactions);
+        assert_eq!(
+            one.stats().offchip_bytes,
+            two.stats().offchip_bytes,
+            "seed {seed}"
+        );
+        assert_eq!(
+            one.stats().read_transactions,
+            two.stats().read_transactions,
+            "seed {seed}"
+        );
+        assert_eq!(
+            one.stats().write_transactions,
+            two.stats().write_transactions,
+            "seed {seed}"
+        );
         // Note: elapsed time is *not* compared — the FR-FCFS window reorders requests, so
         // the makespan of one large batch is not necessarily shorter than two halves.
     }

@@ -41,7 +41,11 @@ impl BitSet {
     ///
     /// Panics if `idx >= capacity()`.
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitset index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitset index {idx} out of range {}",
+            self.len
+        );
         let w = idx / 64;
         let b = 1u64 << (idx % 64);
         let newly = self.words[w] & b == 0;
@@ -55,7 +59,11 @@ impl BitSet {
     ///
     /// Panics if `idx >= capacity()`.
     pub fn remove(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitset index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitset index {idx} out of range {}",
+            self.len
+        );
         let w = idx / 64;
         let b = 1u64 << (idx % 64);
         let present = self.words[w] & b != 0;

@@ -7,7 +7,6 @@
 //! accelerators.
 
 use crate::{Edge, EdgeList, VertexId, Weight};
-use serde::{Deserialize, Serialize};
 
 /// A directed graph in compressed sparse row form, ordered by source vertex.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let neighbors: Vec<u32> = g.neighbors(0).map(|(v, _)| v).collect();
 /// assert_eq!(neighbors, vec![1, 2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// `row_offsets[v]..row_offsets[v + 1]` indexes the out-edges of `v`.
     row_offsets: Vec<u64>,
@@ -63,9 +62,20 @@ impl Csr {
     ///
     /// Panics if the arrays are inconsistent (offsets not monotone, lengths mismatch, or
     /// a column index out of range).
-    pub fn from_raw(row_offsets: Vec<u64>, col_indices: Vec<VertexId>, weights: Vec<Weight>) -> Self {
-        assert!(!row_offsets.is_empty(), "row_offsets must have at least one entry");
-        assert_eq!(col_indices.len(), weights.len(), "col/weight length mismatch");
+    pub fn from_raw(
+        row_offsets: Vec<u64>,
+        col_indices: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        assert!(
+            !row_offsets.is_empty(),
+            "row_offsets must have at least one entry"
+        );
+        assert_eq!(
+            col_indices.len(),
+            weights.len(),
+            "col/weight length mismatch"
+        );
         assert_eq!(
             *row_offsets.last().unwrap() as usize,
             col_indices.len(),
@@ -155,10 +165,8 @@ impl Csr {
 
     /// Iterates over all edges as [`Edge`] values in CSR order.
     pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        (0..self.num_vertices()).flat_map(move |u| {
-            self.neighbors(u)
-                .map(move |(v, w)| Edge::new(u, v, w))
-        })
+        (0..self.num_vertices())
+            .flat_map(move |u| self.neighbors(u).map(move |(v, w)| Edge::new(u, v, w)))
     }
 
     /// Returns the transposed graph (in-edges become out-edges).
@@ -241,7 +249,14 @@ mod tests {
 
     fn small() -> Csr {
         let mut el = EdgeList::new(5);
-        for (s, d, w) in [(0, 1, 1), (0, 4, 2), (1, 2, 3), (3, 0, 4), (3, 4, 5), (4, 3, 6)] {
+        for (s, d, w) in [
+            (0, 1, 1),
+            (0, 4, 2),
+            (1, 2, 3),
+            (3, 0, 4),
+            (3, 4, 5),
+            (4, 3, 6),
+        ] {
             el.push(Edge::new(s, d, w));
         }
         Csr::from_edge_list(&el)

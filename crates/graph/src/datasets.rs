@@ -19,10 +19,9 @@
 
 use crate::generate;
 use crate::Csr;
-use serde::{Deserialize, Serialize};
 
 /// Identifier for the evaluation datasets of Table II (plus the synthetic families).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Uci-Uni (UU): Facebook friendship, 58 M vertices / 92 M edges, avg degree ≈ 1.6.
     UciUni,
@@ -137,7 +136,7 @@ impl Dataset {
 }
 
 /// Degree-distribution family of a dataset stand-in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Near-uniform low-degree graph (Uci-Uni).
     Uniform,
@@ -151,7 +150,7 @@ pub enum Family {
 }
 
 /// Full specification of a dataset: paper-scale sizes plus stand-in parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DatasetSpec {
     /// Which dataset this describes.
     pub dataset: Dataset,

@@ -1,10 +1,9 @@
 //! Edge-list graph representation and helpers.
 
 use crate::{VertexId, Weight};
-use serde::{Deserialize, Serialize};
 
 /// A single directed, weighted edge `(src, dst, weight)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge {
     /// Source vertex.
     pub src: VertexId,
@@ -36,7 +35,7 @@ impl Edge {
 /// let csr = el.to_csr();
 /// assert_eq!(csr.out_degree(0), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EdgeList {
     num_vertices: u32,
     edges: Vec<Edge>,
@@ -66,7 +65,10 @@ impl EdgeList {
                 num_vertices
             );
         }
-        Self { num_vertices, edges }
+        Self {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Number of vertices.
@@ -134,7 +136,10 @@ impl FromIterator<Edge> for EdgeList {
             .map(|e| e.src.max(e.dst) + 1)
             .max()
             .unwrap_or(0);
-        Self { num_vertices, edges }
+        Self {
+            num_vertices,
+            edges,
+        }
     }
 }
 

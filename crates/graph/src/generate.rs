@@ -6,9 +6,8 @@
 //! this environment, the dataset stand-ins in [`crate::datasets`] are built from the
 //! generators in this module (see `DESIGN.md`, substitution table).
 
+use crate::rng::Rng64;
 use crate::{Edge, EdgeList, VertexId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// R-MAT / Kronecker-style power-law graph.
 ///
@@ -45,7 +44,7 @@ pub fn rmat(scale: u32, avg_degree: u32, probs: (f64, f64, f64, f64), seed: u64)
     );
     let n: u64 = 1 << scale;
     let target_edges = n * avg_degree as u64;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut el = EdgeList::new(n as u32);
 
     // The raw R-MAT recursion concentrates high-degree vertices at low vertex ids, which
@@ -53,20 +52,17 @@ pub fn rmat(scale: u32, avg_degree: u32, probs: (f64, f64, f64, f64), seed: u64)
     // numberings do not have (Graph500 likewise prescribes a vertex permutation). Shuffle
     // the id space with a random permutation before emitting edges.
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-    for i in (1..perm.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        perm.swap(i, j);
-    }
+    rng.shuffle(&mut perm);
 
     for _ in 0..target_edges {
         let mut x_lo = 0u64;
         let mut y_lo = 0u64;
         let mut half = n / 2;
         while half >= 1 {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             // Add small per-level noise so the degree distribution is not perfectly
             // self-similar (standard R-MAT smoothing).
-            let noise: f64 = rng.gen_range(-0.05..0.05);
+            let noise: f64 = rng.gen_f64_range(-0.05, 0.05);
             let aa = (a + noise * a).clamp(0.0, 1.0);
             let (dx, dy) = if r < aa {
                 (0, 0)
@@ -84,7 +80,7 @@ pub fn rmat(scale: u32, avg_degree: u32, probs: (f64, f64, f64, f64), seed: u64)
             }
             half /= 2;
         }
-        let w = rng.gen_range(0..256u32);
+        let w = rng.gen_u32_below(256);
         el.push(Edge::new(perm[x_lo as usize], perm[y_lo as usize], w));
     }
     el.dedup_and_clean();
@@ -109,7 +105,7 @@ pub fn watts_strogatz(scale: u32, k: u32, beta: f64, seed: u64) -> crate::Csr {
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let n: u64 = 1 << scale;
     assert!(k as u64 > 0 && (k as u64) < n, "k must be in 1..n");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut el = EdgeList::new(n as u32);
     for u in 0..n {
         for j in 1..=k as u64 {
@@ -117,13 +113,13 @@ pub fn watts_strogatz(scale: u32, k: u32, beta: f64, seed: u64) -> crate::Csr {
             if rng.gen_bool(beta) {
                 // Rewire to a uniformly random destination (avoiding a self-loop).
                 loop {
-                    v = rng.gen_range(0..n);
+                    v = rng.gen_u64_below(n);
                     if v != u {
                         break;
                     }
                 }
             }
-            let w = rng.gen_range(0..256u32);
+            let w = rng.gen_u32_below(256);
             el.push(Edge::new(u as VertexId, v as VertexId, w));
         }
     }
@@ -135,15 +131,15 @@ pub fn watts_strogatz(scale: u32, k: u32, beta: f64, seed: u64) -> crate::Csr {
 /// before cleanup).
 pub fn uniform(num_vertices: u32, num_edges: u64, seed: u64) -> crate::Csr {
     assert!(num_vertices >= 2, "need at least two vertices");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut el = EdgeList::new(num_vertices);
     for _ in 0..num_edges {
-        let src = rng.gen_range(0..num_vertices);
-        let mut dst = rng.gen_range(0..num_vertices);
+        let src = rng.gen_u32_below(num_vertices);
+        let mut dst = rng.gen_u32_below(num_vertices);
         if dst == src {
             dst = (dst + 1) % num_vertices;
         }
-        let w = rng.gen_range(0..256u32);
+        let w = rng.gen_u32_below(256);
         el.push(Edge::new(src, dst, w));
     }
     el.dedup_and_clean();
@@ -237,7 +233,9 @@ mod tests {
         let g = uniform(100, 1000, 9);
         assert_eq!(g.num_vertices(), 100);
         assert!(g.num_edges() <= 1000);
-        assert!(g.iter_edges().all(|e| e.src < 100 && e.dst < 100 && e.src != e.dst));
+        assert!(g
+            .iter_edges()
+            .all(|e| e.src < 100 && e.dst < 100 && e.src != e.dst));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod datasets;
 pub mod edgelist;
 pub mod generate;
 pub mod props;
+pub mod rng;
 pub mod tiling;
 
 pub use bitset::BitSet;

@@ -1,0 +1,167 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The reproduction environment has no access to crates.io, so instead of `rand` +
+//! `rand_chacha` the generators and the randomized (property-style) tests use this
+//! self-contained xoshiro256** implementation (Blackman & Vigna), seeded through
+//! SplitMix64 exactly as the reference implementation recommends. Every graph generator
+//! takes an explicit `u64` seed, so runs are reproducible across machines and toolchains.
+//!
+//! # Example
+//!
+//! ```
+//! use piccolo_graph::rng::Rng64;
+//!
+//! let mut a = Rng64::seed_from_u64(7);
+//! let mut b = Rng64::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen_f64() < p
+    }
+
+    /// Uniform `u64` in `[0, n)` (Lemire's unbiased multiply-shift rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            // Reject the biased low region (hit with probability < n / 2^64).
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `u32` in `[0, n)`.
+    pub fn gen_u32_below(&mut self, n: u32) -> u32 {
+        self.gen_u64_below(n as u64) as u32
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_u64_below(n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        let mut c = Rng64::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(r.gen_u64_below(7) < 7);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.gen_f64_range(-0.05, 0.05);
+            assert!((-0.05..0.05).contains(&g));
+        }
+        assert_eq!(r.gen_u64_below(1), 0);
+    }
+
+    #[test]
+    fn bounded_draws_cover_the_range() {
+        let mut r = Rng64::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng64::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert_eq!((0..100).filter(|_| r.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| r.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should not be identity");
+    }
+}

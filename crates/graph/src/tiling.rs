@@ -11,10 +11,9 @@
 //! stores useful 8 B sectors.
 
 use crate::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// A single destination-interval tile: destinations in `start..end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tile {
     /// First destination vertex (inclusive).
     pub start: VertexId,
@@ -40,7 +39,7 @@ impl Tile {
 }
 
 /// A partition of the destination-vertex space into equal-width tiles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tiling {
     num_vertices: u32,
     tile_width: u32,
@@ -78,7 +77,12 @@ impl Tiling {
 
     /// Perfect tiling scaled by `factor` (the x-axis of Fig. 17). `factor = 1` is perfect
     /// tiling, larger factors mean proportionally wider tiles.
-    pub fn scaled(num_vertices: u32, onchip_bytes: u64, bytes_per_vertex: u32, factor: u32) -> Self {
+    pub fn scaled(
+        num_vertices: u32,
+        onchip_bytes: u64,
+        bytes_per_vertex: u32,
+        factor: u32,
+    ) -> Self {
         assert!(factor > 0, "scaling factor must be positive");
         let perfect = Self::perfect(num_vertices, onchip_bytes, bytes_per_vertex);
         let width = perfect
@@ -151,7 +155,7 @@ pub fn partition_csr(graph: &crate::Csr, tiling: &Tiling) -> Vec<crate::Csr> {
 
 /// A 2-D grid partition of the edge set used by edge-centric accelerators (Section VII-H):
 /// edges are grouped into `src_tiles x dst_tiles` blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridPartition {
     /// Tiling of the source dimension.
     pub src: Tiling,

@@ -1,50 +1,66 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate.
+//!
+//! No crates.io access in the build container, so instead of `proptest` these run seeded
+//! random cases through [`piccolo_graph::rng::Rng64`]; a failing seed is printed in the
+//! assertion message.
 
+use piccolo_graph::rng::Rng64;
 use piccolo_graph::{generate, BitSet, Edge, EdgeList, Tiling};
-use proptest::prelude::*;
 
-/// Strategy producing an arbitrary small edge list.
-fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
-    (2u32..200).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n, 0u32..256), 0..400).prop_map(move |edges| {
-            let mut el = EdgeList::new(n);
-            for (s, d, w) in edges {
-                el.push(Edge::new(s, d, w));
-            }
-            el
-        })
-    })
+const CASES: u64 = 64;
+
+/// An arbitrary small edge list: 2..200 vertices, up to 400 edges, weights in 0..256.
+fn random_edge_list(rng: &mut Rng64) -> EdgeList {
+    let n = 2 + rng.gen_u32_below(198);
+    let edges = rng.gen_index(400);
+    let mut el = EdgeList::new(n);
+    for _ in 0..edges {
+        el.push(Edge::new(
+            rng.gen_u32_below(n),
+            rng.gen_u32_below(n),
+            rng.gen_u32_below(256),
+        ));
+    }
+    el
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CSR construction preserves the (deduplicated) edge multiset when built from a
-    /// cleaned edge list.
-    #[test]
-    fn csr_preserves_edges(mut el in arb_edge_list()) {
+/// CSR construction preserves the (deduplicated) edge multiset when built from a
+/// cleaned edge list.
+#[test]
+fn csr_preserves_edges() {
+    for seed in 0..CASES {
+        let mut el = random_edge_list(&mut Rng64::seed_from_u64(seed));
         el.dedup_and_clean();
         let csr = el.to_csr();
-        prop_assert_eq!(csr.num_edges() as usize, el.num_edges());
+        assert_eq!(csr.num_edges() as usize, el.num_edges(), "seed {seed}");
         let mut from_csr: Vec<Edge> = csr.iter_edges().collect();
         let mut from_el: Vec<Edge> = el.edges().to_vec();
         from_csr.sort();
         from_el.sort();
-        prop_assert_eq!(from_csr, from_el);
+        assert_eq!(from_csr, from_el, "seed {seed}");
     }
+}
 
-    /// Row offsets are monotone and the degree sum equals the edge count.
-    #[test]
-    fn csr_row_offsets_monotone(el in arb_edge_list()) {
+/// Row offsets are monotone and the degree sum equals the edge count.
+#[test]
+fn csr_row_offsets_monotone() {
+    for seed in 0..CASES {
+        let el = random_edge_list(&mut Rng64::seed_from_u64(seed));
         let csr = el.to_csr();
-        prop_assert!(csr.row_offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            csr.row_offsets().windows(2).all(|w| w[0] <= w[1]),
+            "seed {seed}"
+        );
         let degree_sum: u64 = (0..csr.num_vertices()).map(|v| csr.out_degree(v)).sum();
-        prop_assert_eq!(degree_sum, csr.num_edges());
+        assert_eq!(degree_sum, csr.num_edges(), "seed {seed}");
     }
+}
 
-    /// Transposition is an involution on the edge multiset.
-    #[test]
-    fn transpose_involution(mut el in arb_edge_list()) {
+/// Transposition is an involution on the edge multiset.
+#[test]
+fn transpose_involution() {
+    for seed in 0..CASES {
+        let mut el = random_edge_list(&mut Rng64::seed_from_u64(seed));
         el.dedup_and_clean();
         let csr = el.to_csr();
         let round = csr.transpose().transpose();
@@ -52,72 +68,108 @@ proptest! {
         let mut b: Vec<Edge> = round.iter_edges().collect();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// Every tile-sliced sub-graph partitions the edges: the union over all tiles equals
-    /// the full edge set and the slices are disjoint.
-    #[test]
-    fn tiling_partitions_edges(mut el in arb_edge_list(), width in 1u32..64) {
+/// Every tile-sliced sub-graph partitions the edges: the union over all tiles equals
+/// the full edge set and the slices are disjoint.
+#[test]
+fn tiling_partitions_edges() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut el = random_edge_list(&mut rng);
+        let width = 1 + rng.gen_u32_below(63);
         el.dedup_and_clean();
         let csr = el.to_csr();
         let tiling = Tiling::by_tile_width(csr.num_vertices(), width);
         let mut total = 0u64;
         for tile in tiling.iter() {
             let slice = csr.tile_slice(tile.range());
-            prop_assert!(slice.iter_edges().all(|e| tile.contains(e.dst)));
+            assert!(
+                slice.iter_edges().all(|e| tile.contains(e.dst)),
+                "seed {seed}"
+            );
             total += slice.num_edges();
         }
-        prop_assert_eq!(total, csr.num_edges());
+        assert_eq!(total, csr.num_edges(), "seed {seed}");
     }
+}
 
-    /// `edges_per_tile` agrees with the slices.
-    #[test]
-    fn edges_per_tile_agrees_with_slices(mut el in arb_edge_list(), width in 1u32..64) {
+/// `edges_per_tile` agrees with the slices.
+#[test]
+fn edges_per_tile_agrees_with_slices() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut el = random_edge_list(&mut rng);
+        let width = 1 + rng.gen_u32_below(63);
         el.dedup_and_clean();
         let csr = el.to_csr();
         let counts = csr.edges_per_tile(width);
         let tiling = Tiling::by_tile_width(csr.num_vertices(), width);
         for (i, tile) in tiling.iter().enumerate() {
-            prop_assert_eq!(counts[i], csr.tile_slice(tile.range()).num_edges());
+            assert_eq!(
+                counts[i],
+                csr.tile_slice(tile.range()).num_edges(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// The bitset behaves like a reference `HashSet` under a sequence of inserts/removes.
-    #[test]
-    fn bitset_matches_hashset(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..300)) {
+/// The bitset behaves like a reference `HashSet` under a sequence of inserts/removes.
+#[test]
+fn bitset_matches_hashset() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let ops = rng.gen_index(300);
         let mut bs = BitSet::new(500);
         let mut hs = std::collections::HashSet::new();
-        for (idx, insert) in ops {
-            if insert {
-                prop_assert_eq!(bs.insert(idx), hs.insert(idx));
+        for _ in 0..ops {
+            let idx = rng.gen_index(500);
+            if rng.gen_bool(0.5) {
+                assert_eq!(bs.insert(idx), hs.insert(idx), "seed {seed}");
             } else {
-                prop_assert_eq!(bs.remove(idx), hs.remove(&idx));
+                assert_eq!(bs.remove(idx), hs.remove(&idx), "seed {seed}");
             }
         }
-        prop_assert_eq!(bs.count(), hs.len());
+        assert_eq!(bs.count(), hs.len(), "seed {seed}");
         let mut from_bs: Vec<usize> = bs.iter().collect();
         let mut from_hs: Vec<usize> = hs.into_iter().collect();
         from_bs.sort_unstable();
         from_hs.sort_unstable();
-        prop_assert_eq!(from_bs, from_hs);
+        assert_eq!(from_bs, from_hs, "seed {seed}");
     }
+}
 
-    /// Watts–Strogatz always produces exactly n*k edges and no self loops.
-    #[test]
-    fn ws_edge_count(scale in 5u32..9, k in 1u32..5, beta in 0.0f64..1.0, seed in any::<u64>()) {
-        let g = generate::watts_strogatz(scale, k, beta, seed);
-        prop_assert_eq!(g.num_edges(), (1u64 << scale) * k as u64);
-        prop_assert!(g.iter_edges().all(|e| e.src != e.dst));
+/// Watts–Strogatz always produces exactly n*k edges and no self loops.
+#[test]
+fn ws_edge_count() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let scale = 5 + rng.gen_u32_below(4);
+        let k = 1 + rng.gen_u32_below(4);
+        let beta = rng.gen_f64();
+        let g = generate::watts_strogatz(scale, k, beta, rng.next_u64());
+        assert_eq!(g.num_edges(), (1u64 << scale) * k as u64, "seed {seed}");
+        assert!(g.iter_edges().all(|e| e.src != e.dst), "seed {seed}");
     }
+}
 
-    /// Kronecker graphs stay within the vertex-id range and below the edge target.
-    #[test]
-    fn kronecker_bounds(scale in 5u32..10, deg in 1u32..8, seed in any::<u64>()) {
-        let g = generate::kronecker(scale, deg, seed);
+/// Kronecker graphs stay within the vertex-id range and below the edge target.
+#[test]
+fn kronecker_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let scale = 5 + rng.gen_u32_below(5);
+        let deg = 1 + rng.gen_u32_below(7);
+        let g = generate::kronecker(scale, deg, rng.next_u64());
         let n = 1u32 << scale;
-        prop_assert_eq!(g.num_vertices(), n);
-        prop_assert!(g.num_edges() <= n as u64 * deg as u64);
-        prop_assert!(g.iter_edges().all(|e| e.src < n && e.dst < n));
+        assert_eq!(g.num_vertices(), n, "seed {seed}");
+        assert!(g.num_edges() <= n as u64 * deg as u64, "seed {seed}");
+        assert!(
+            g.iter_edges().all(|e| e.src < n && e.dst < n),
+            "seed {seed}"
+        );
     }
 }

@@ -8,7 +8,11 @@ use piccolo_algo::Algorithm;
 use piccolo_graph::Dataset;
 
 fn main() {
-    let scale = Scale { scale_shift: 13, seed: 7, max_iterations: 3 };
+    let scale = Scale {
+        scale_shift: 13,
+        seed: 7,
+        max_iterations: 3,
+    };
     let algs = [Algorithm::PageRank];
     println!("-- memory type sensitivity (cycles) --");
     for p in fig15(scale, Dataset::Sinaweibo, &algs) {

@@ -8,7 +8,10 @@ use piccolo_dram::DramConfig;
 
 fn main() {
     let cfg = DramConfig::ddr4_2400_x16();
-    println!("{:<4} {:>14} {:>14} {:>9}", "qry", "conv clocks", "piccolo clocks", "speedup");
+    println!(
+        "{:<4} {:>14} {:>14} {:>9}",
+        "qry", "conv clocks", "piccolo clocks", "speedup"
+    );
     for q in OlapQuery::suite(200_000) {
         let conv = run_conventional(&q, cfg);
         let pic = run_piccolo(&q, cfg);

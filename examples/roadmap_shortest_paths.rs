@@ -14,12 +14,22 @@ fn main() {
 
     // Functional check first: the vertex programs agree with Dijkstra-style references.
     let sssp = run_vcm(&graph, &Sssp::new(source), 10_000);
-    assert_eq!(sssp.props.as_slice(), reference::dijkstra(&graph, source).as_slice());
+    assert_eq!(
+        sssp.props.as_slice(),
+        reference::dijkstra(&graph, source).as_slice()
+    );
     let sswp = run_vcm(&graph, &Sswp::new(source), 10_000);
-    assert_eq!(sswp.props.as_slice(), reference::widest_path(&graph, source).as_slice());
+    assert_eq!(
+        sswp.props.as_slice(),
+        reference::widest_path(&graph, source).as_slice()
+    );
     println!("functional check passed: SSSP and SSWP match the reference implementations");
 
-    for system in [SystemKind::GraphDynsCache, SystemKind::Nmp, SystemKind::Piccolo] {
+    for system in [
+        SystemKind::GraphDynsCache,
+        SystemKind::Nmp,
+        SystemKind::Piccolo,
+    ] {
         let sim = Simulation::new(system).configure(|c| c.with_max_iterations(40));
         let r_sssp = sim.run(&graph, &Sssp::new(source));
         let r_sswp = sim.run(&graph, &Sswp::new(source));

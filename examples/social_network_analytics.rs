@@ -18,9 +18,8 @@ fn main() {
         );
         let mut baseline_cycles = 0u64;
         for system in SystemKind::ALL {
-            let sim = Simulation::with_config(
-                SimConfig::for_system(system, 13).with_max_iterations(5),
-            );
+            let sim =
+                Simulation::with_config(SimConfig::for_system(system, 13).with_max_iterations(5));
             let pr = sim.run(&graph, &PageRank::default());
             let cc = sim.run(&graph, &ConnectedComponents::new());
             let total = pr.run.accel_cycles + cc.run.accel_cycles;
