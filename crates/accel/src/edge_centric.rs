@@ -7,7 +7,7 @@
 //! Piccolo-cache help, exactly as in the vertex-centric case.
 //!
 //! Everything but the traversal order — grid blocks instead of frontier tiles — is shared
-//! with the vertex-centric engine through [`pipeline`](crate::pipeline).
+//! with the vertex-centric engine through [`pipeline`].
 
 use crate::config::SimConfig;
 use crate::engine::{resolve_tiling, RunResult};

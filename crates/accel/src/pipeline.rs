@@ -22,6 +22,12 @@
 //! iteration; it decides chunk boundaries and request order, and nothing else. Adding a
 //! new execution strategy (sharded, asynchronous, multi-backend) means adding a new
 //! `Traversal` implementation — not a new engine.
+//!
+//! Every piece of state [`run`] touches — the memory path (with its boxed cache model),
+//! the DRAM system, the functional property arrays — is constructed inside the call and
+//! owned by it, so whole runs are freely shippable to worker threads: the parallel sweep
+//! engine (`piccolo::sweep`) executes one `run` per worker. The `send_audit` test below
+//! keeps this property from regressing.
 
 use crate::config::{SimConfig, SystemKind, TilingPolicy};
 use crate::layout::{GraphLayout, PROP_BYTES, ROW_OFFSET_BYTES};
@@ -79,7 +85,22 @@ impl RunResult {
     }
 }
 
+/// The tile-scaling factors [`TilingPolicy::Best`] searches on fine-grained systems.
+///
+/// Fig. 17's sweep shows two regimes for Piccolo/NMP: factor 1 (tiles that just fit)
+/// wins when random destination traffic dominates (dense frontiers, high-degree
+/// graphs), factor 2 when the per-tile frontier streams dominate (sparse frontiers,
+/// low-degree graphs). Conventional caches always prefer factor 1 — over-sized tiles
+/// thrash 64 B lines — so only the fine-grained systems search.
+pub const BEST_TILING_FACTORS: [u32; 2] = [1, 2];
+
 /// Chooses the tiling for a run.
+///
+/// `TilingPolicy::Best` resolves to the *default* factor of the system family here
+/// (factor 2 for fine-grained systems, 1 otherwise); the vertex-centric engine
+/// additionally implements Best's documented "exhaustive search" semantics by running
+/// every [`BEST_TILING_FACTORS`] candidate and keeping the fastest — see
+/// [`engine::simulate`](crate::engine::simulate).
 pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
     match cfg.tiling {
         TilingPolicy::None => Tiling::single_tile(num_vertices),
@@ -90,9 +111,6 @@ pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
             Tiling::scaled(num_vertices, cfg.accel.onchip_bytes, PROP_BYTES as u32, f)
         }
         TilingPolicy::Best => {
-            // Sweet spots found by the Fig. 17 sweep: conventional caches want tiles that
-            // just fit (factor 1-2); fine-grained caches hold only useful sectors and
-            // prefer much larger tiles (factor ~8).
             let factor = match cfg.system {
                 SystemKind::Nmp | SystemKind::Piccolo => 2,
                 _ => 1,
@@ -548,5 +566,28 @@ pub fn run<P: VertexProgram, T: Traversal<P>>(
         cache_stats: path.cache_stats(),
         tile_width,
         num_tiles,
+    }
+}
+
+#[cfg(test)]
+mod send_audit {
+    //! Compile-time audit that the whole simulation pipeline is per-run owned: a worker
+    //! thread must be able to own a run's memory path (with its boxed cache), DRAM
+    //! system and result. Fails to compile if any layer grows shared mutability.
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn simulation_state_is_send() {
+        assert_send::<MemoryPath>();
+        assert_send::<MemorySystem>();
+        assert_send::<RunResult>();
+        assert_send::<SimConfig>();
+        // Shared read-only inputs of a sweep: one graph serves many worker threads.
+        assert_sync::<Csr>();
+        assert_sync::<SimConfig>();
     }
 }

@@ -12,7 +12,7 @@
 //! * the five vertex programs ([`pagerank`], [`bfs`], [`cc`], [`sssp`], [`sswp`]),
 //! * an [`edge_centric`] iteration driver with identical semantics but edge-block
 //!   traversal order, and
-//! * straightforward [`reference`] CPU implementations used as ground truth in tests.
+//! * straightforward [`reference`](mod@reference) CPU implementations used as ground truth in tests.
 //!
 //! The accelerator simulator (crate `piccolo-accel`) re-uses the same vertex programs to
 //! generate memory-access traces, so functional results and simulated traffic always refer

@@ -1,29 +1,67 @@
 //! Benchmarks: one (small-scale) benchmark per paper figure/table.
 //!
 //! The reproduction container has no access to crates.io, so instead of Criterion this is
-//! a hand-rolled harness (`harness = false` in `Cargo.toml`): each figure's experiment
-//! driver from `piccolo::experiments` runs a few timed iterations at a tiny scale and the
-//! bench prints min/mean wall-clock per driver. The `repro` binary runs the same drivers
-//! at full reproduction scale and prints the series the paper reports.
+//! a hand-rolled harness (`harness = false` in `Cargo.toml`): each figure's
+//! [`ExperimentSpec`] runs through a [`SweepRunner`] at a tiny scale for a few timed
+//! samples, and the harness prints min/mean wall-clock per figure. The `repro` binary
+//! runs the same specs at full reproduction scale.
 //!
-//! Usage: `cargo bench` (optionally `cargo bench -- fig10` to filter by substring).
+//! Besides timing, the harness extracts the deterministic Piccolo-vs-baseline speedup
+//! metrics from each figure's rows (see `piccolo_bench::speedup_metrics`), can emit
+//! everything as `BENCH.json`, and can gate on the checked-in regression floors:
+//!
+//! ```text
+//! cargo bench                                   # all figures, 5 samples each
+//! cargo bench -- fig10                          # filter by name substring
+//! cargo bench -- --quick --jobs 2               # 2 samples, 2 workers
+//! cargo bench -- --json BENCH.json --check crates/bench/baselines.json
+//! ```
+//!
+//! (`--check` exits non-zero if any tracked speedup falls below its floor; CI's
+//! bench-smoke job runs exactly that.)
 
 use piccolo::experiments::{self, Scale};
+use piccolo::sweep::{ExperimentSpec, SweepRunner};
 use piccolo_algo::Algorithm;
+use piccolo_bench::{bench_json, check_floors, speedup_metrics, FigureBench};
 use piccolo_graph::Dataset;
 use std::time::{Duration, Instant};
 
 fn tiny() -> Scale {
     Scale {
-        scale_shift: 15,
+        scale_shift: 13,
         seed: 7,
         max_iterations: 2,
     }
 }
 
-/// Times `f` for a warmup run plus `samples` measured runs; returns (min, mean).
+/// The benched figure set: every spec at a tiny scale with one dataset/algorithm.
+fn bench_specs() -> Vec<ExperimentSpec> {
+    let ds = [Dataset::Sinaweibo];
+    let algs = [Algorithm::Bfs];
+    vec![
+        experiments::fig03_spec(tiny(), &ds),
+        experiments::fig09_spec(),
+        experiments::fig10_spec(tiny(), &ds, &algs),
+        experiments::fig11_spec(tiny(), &ds, &algs),
+        experiments::fig12_spec(tiny(), &ds, &algs),
+        experiments::fig13_spec(tiny(), &ds, &algs),
+        experiments::fig14_spec(tiny(), &ds, &algs),
+        experiments::fig15_spec(tiny(), Dataset::Sinaweibo, &algs),
+        experiments::fig16_spec(tiny(), Dataset::Sinaweibo, &algs),
+        experiments::fig17_spec(tiny(), Dataset::Sinaweibo, &algs),
+        experiments::fig18_spec(tiny()),
+        experiments::fig19a_spec(tiny(), &ds),
+        experiments::fig19b_spec(5_000),
+        experiments::fig20a_spec(tiny(), Dataset::Sinaweibo, &algs),
+        experiments::fig20b_spec(tiny(), &ds),
+        experiments::table2_spec(tiny()),
+        experiments::area_spec(),
+    ]
+}
+
+/// Times `f` for `samples` measured runs; returns (min, mean).
 fn time_runs(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
-    f(); // warmup
     let mut min = Duration::MAX;
     let mut total = Duration::ZERO;
     for _ in 0..samples {
@@ -33,102 +71,145 @@ fn time_runs(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
         min = min.min(dt);
         total += dt;
     }
-    (min, total / samples)
+    (min, total / samples.max(1))
 }
 
-type BenchFn = Box<dyn FnMut()>;
+fn fail(msg: &str) -> ! {
+    eprintln!("bench: {msg}");
+    std::process::exit(2);
+}
+
+/// Resolves an input path against the cwd, the bench crate and the workspace root, in
+/// that order — `cargo bench` runs this binary with cwd = `crates/bench`, but CI and
+/// humans pass workspace-root-relative paths like `crates/bench/baselines.json`.
+fn resolve_input(path: &str) -> std::path::PathBuf {
+    let direct = std::path::PathBuf::from(path);
+    if direct.exists() || direct.is_absolute() {
+        return direct;
+    }
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for base in [manifest.to_path_buf(), manifest.join("../..")] {
+        let candidate = base.join(path);
+        if candidate.exists() {
+            return candidate;
+        }
+    }
+    direct
+}
 
 fn main() {
-    let filter: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let ds = [Dataset::Sinaweibo];
-    let algs = [Algorithm::Bfs];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut jobs: usize = 1; // timing defaults to the sequential reference path
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
 
-    let benches: Vec<(&str, BenchFn)> = vec![
-        (
-            "fig03_motivation",
-            Box::new(move || drop(experiments::fig03(tiny(), &ds))),
-        ),
-        (
-            "fig09_microbenchmark",
-            Box::new(move || drop(experiments::fig09())),
-        ),
-        (
-            "fig10_overall_speedup",
-            Box::new(move || drop(experiments::fig10(tiny(), &ds, &algs))),
-        ),
-        (
-            "fig11_cache_designs",
-            Box::new(move || drop(experiments::fig11(tiny(), &ds, &algs))),
-        ),
-        (
-            "fig12_memory_access",
-            Box::new(move || drop(experiments::fig12(tiny(), &ds, &algs))),
-        ),
-        (
-            "fig13_bandwidth",
-            Box::new(move || drop(experiments::fig13(tiny(), &ds, &algs))),
-        ),
-        (
-            "fig14_energy",
-            Box::new(move || drop(experiments::fig14(tiny(), &ds, &algs))),
-        ),
-        (
-            "fig15_memory_types",
-            Box::new(move || drop(experiments::fig15(tiny(), Dataset::Sinaweibo, &algs))),
-        ),
-        (
-            "fig16_channels_ranks",
-            Box::new(move || drop(experiments::fig16(tiny(), Dataset::Sinaweibo, &algs))),
-        ),
-        (
-            "fig17_tile_size",
-            Box::new(move || drop(experiments::fig17(tiny(), Dataset::Sinaweibo, &algs))),
-        ),
-        (
-            "fig18_synthetic_graphs",
-            Box::new(move || drop(experiments::fig18(tiny()))),
-        ),
-        (
-            "fig19a_edge_centric",
-            Box::new(move || drop(experiments::fig19a(tiny(), &ds))),
-        ),
-        (
-            "fig19b_olap",
-            Box::new(move || drop(experiments::fig19b(5_000))),
-        ),
-        (
-            "fig20a_enhanced_designs",
-            Box::new(move || drop(experiments::fig20a(tiny(), Dataset::Sinaweibo, &algs))),
-        ),
-        (
-            "fig20b_prefetch_off",
-            Box::new(move || drop(experiments::fig20b(tiny(), &ds))),
-        ),
-        (
-            "table2_datasets",
-            Box::new(move || drop(experiments::table2(tiny()))),
-        ),
-        (
-            "area_report",
-            Box::new(move || {
-                let _ = piccolo::area_report();
-            }),
-        ),
-    ];
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => match it.next() {
+                Some(v) => {
+                    jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")))
+                }
+                None => fail("--jobs needs a value"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(v.clone()),
+                None => fail("--json needs a path"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check_path = Some(v.clone()),
+                None => fail("--check needs a path"),
+            },
+            // `cargo bench` passes --bench through to harness = false benches.
+            "--bench" => {}
+            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
+            other => filter.push(other.to_string()),
+        }
+    }
+
+    let samples = if quick { 2 } else { 5 };
+    let runner = SweepRunner::new(jobs);
+    let mut benched: Vec<FigureBench> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
 
     println!("{:<28} {:>12} {:>12}", "benchmark", "min", "mean");
-    for (name, mut f) in benches {
-        if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
+    for spec in bench_specs() {
+        if !filter.is_empty() && !filter.iter().any(|p| spec.name().contains(p.as_str())) {
             continue;
         }
-        let (min, mean) = time_runs(5, &mut *f);
+        // Warmup run doubles as the row capture for the speedup metrics.
+        let points = runner.run(&spec);
+        let (min, mean) = time_runs(samples, || {
+            runner.run(&spec);
+        });
         println!(
-            "{name:<28} {:>10.3}ms {:>10.3}ms",
+            "{:<28} {:>10.3}ms {:>10.3}ms",
+            spec.name(),
             min.as_secs_f64() * 1e3,
             mean.as_secs_f64() * 1e3
         );
+        metrics.extend(speedup_metrics(spec.name(), &points));
+        benched.push(FigureBench {
+            name: spec.name().to_string(),
+            title: spec.title().to_string(),
+            rows: points.len(),
+            min_ms: min.as_secs_f64() * 1e3,
+            mean_ms: mean.as_secs_f64() * 1e3,
+        });
+    }
+
+    if !metrics.is_empty() {
+        println!();
+        println!("{:<28} {:>12}", "metric", "value");
+        for (name, value) in &metrics {
+            println!("{name:<28} {value:>12.4}");
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = bench_json(samples, runner.jobs(), &benched, &metrics);
+        if let Err(e) = std::fs::write(path, doc) {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let resolved = resolve_input(path);
+        let text = std::fs::read_to_string(&resolved)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", resolved.display())));
+        let mut baselines = piccolo::json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        // A name filter skips figures entirely; their floors must not fail as "not
+        // measured". Scope the check to the figures that actually ran (metric keys are
+        // "<figure>/<metric>"). The unfiltered CI run still checks every floor.
+        if !filter.is_empty() {
+            if let piccolo::json::Json::Obj(pairs) = &mut baselines {
+                pairs.retain(|(key, _)| {
+                    benched
+                        .iter()
+                        .any(|f| key.starts_with(&format!("{}/", f.name)))
+                });
+            }
+        }
+        let failures = check_floors(&metrics, &baselines)
+            .unwrap_or_else(|e| fail(&format!("bad baselines file {path}: {e}")));
+        if failures.is_empty() {
+            println!(
+                "\nall {} regression floors hold",
+                baselines.as_object().map(<[_]>::len).unwrap_or(0)
+            );
+        } else {
+            eprintln!("\nspeedup regression(s) against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -1,174 +1,103 @@
 //! Reproduces the paper's tables and figures and prints their rows.
 //!
-//! Usage: `repro [figure ...] [--quick|--full]`
+//! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]`
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default).
+//!
+//! Every figure is a grid of independent simulation runs; `--jobs N` shards them across
+//! `N` worker threads (default: all cores, `--jobs 1` forces the sequential reference
+//! path). Output — both the printed rows and the optional `results.json` — is
+//! bit-identical for every worker count; CI diffs the two to enforce it.
 
-use piccolo::experiments::{self, Point, Scale};
-use piccolo_algo::Algorithm;
-use piccolo_graph::Dataset;
+use piccolo::experiments::{Scale, FIGURES};
+use piccolo::report::{results_json, FigureRows};
+use piccolo::sweep::SweepRunner;
 
-/// Prints one figure's rows and records it for the closing summary table.
-fn print(summary: &mut Vec<(String, usize)>, figure: &str, points: &[Point]) {
-    println!("== {figure} ==");
-    for p in points {
-        println!("{p}");
-    }
-    println!();
-    summary.push((figure.to_string(), points.len()));
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("usage: repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]");
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut figures: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut jobs: usize = 0; // 0 = all cores
+    let mut out_path: Option<String> = None;
+
+    // Space-separated flag values only (`--jobs 4`), matching the bench harness.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--jobs" => match it.next() {
+                Some(v) => {
+                    jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")))
+                }
+                None => fail("--jobs needs a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => fail("--out needs a path"),
+            },
+            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
+            other => figures.push(other.to_string()),
+        }
+    }
+
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::default_repro()
     };
-    let mut figures: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
     if figures.is_empty() || figures.iter().any(|f| f == "all") {
-        figures = [
-            "table2", "fig03", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20a", "fig20b", "area",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        figures = FIGURES.iter().map(|s| s.to_string()).collect();
     }
-    let mut summary: Vec<(String, usize)> = Vec::new();
+
+    let runner = SweepRunner::new(jobs);
     let started = std::time::Instant::now();
-    let datasets = Dataset::REAL_WORLD;
-    let algorithms = Algorithm::ALL;
-    let one_alg = [Algorithm::PageRank, Algorithm::Bfs];
-    for f in figures {
-        match f.as_str() {
-            "table2" => print(
-                &mut summary,
-                "Table II (datasets)",
-                &experiments::table2(scale),
-            ),
-            "fig03" => print(
-                &mut summary,
-                "Fig. 3 (motivation)",
-                &experiments::fig03(
-                    scale,
-                    &[Dataset::Twitter, Dataset::Sinaweibo, Dataset::Friendster],
-                ),
-            ),
-            "fig09" => print(
-                &mut summary,
-                "Fig. 9 (FIM microbenchmark)",
-                &experiments::fig09(),
-            ),
-            "fig10" => print(
-                &mut summary,
-                "Fig. 10 (overall speedup)",
-                &experiments::fig10(scale, &datasets, &algorithms),
-            ),
-            "fig11" => print(
-                &mut summary,
-                "Fig. 11 (cache designs)",
-                &experiments::fig11(scale, &[Dataset::Sinaweibo, Dataset::Friendster], &one_alg),
-            ),
-            "fig12" => print(
-                &mut summary,
-                "Fig. 12 (memory accesses)",
-                &experiments::fig12(scale, &datasets, &algorithms),
-            ),
-            "fig13" => print(
-                &mut summary,
-                "Fig. 13 (bandwidth)",
-                &experiments::fig13(scale, &[Dataset::Sinaweibo], &algorithms),
-            ),
-            "fig14" => print(
-                &mut summary,
-                "Fig. 14 (energy)",
-                &experiments::fig14(scale, &[Dataset::Sinaweibo, Dataset::Friendster], &one_alg),
-            ),
-            "fig15" => print(
-                &mut summary,
-                "Fig. 15 (memory types)",
-                &experiments::fig15(scale, Dataset::Sinaweibo, &algorithms),
-            ),
-            "fig16" => print(
-                &mut summary,
-                "Fig. 16 (channels/ranks)",
-                &experiments::fig16(scale, Dataset::Sinaweibo, &algorithms),
-            ),
-            "fig17" => print(
-                &mut summary,
-                "Fig. 17 (tile size)",
-                &experiments::fig17(scale, Dataset::Sinaweibo, &algorithms),
-            ),
-            "fig18" => print(
-                &mut summary,
-                "Fig. 18 (synthetic graphs)",
-                &experiments::fig18(scale),
-            ),
-            "fig19a" => print(
-                &mut summary,
-                "Fig. 19a (edge-centric)",
-                &experiments::fig19a(scale, &datasets),
-            ),
-            "fig19b" => print(
-                &mut summary,
-                "Fig. 19b (OLAP)",
-                &experiments::fig19b(200_000),
-            ),
-            "fig20a" => print(
-                &mut summary,
-                "Fig. 20a (enhanced designs)",
-                &experiments::fig20a(scale, Dataset::Sinaweibo, &one_alg),
-            ),
-            "fig20b" => print(
-                &mut summary,
-                "Fig. 20b (prefetch disabled)",
-                &experiments::fig20b(scale, &datasets),
-            ),
-            "area" => {
-                let a = piccolo::area_report();
-                println!("== Area (Section VII-F) ==");
-                println!(
-                    "baseline accelerator     {:>8.2} mm^2",
-                    a.baseline_accelerator_mm2
-                );
-                println!(
-                    "piccolo accelerator      {:>8.2} mm^2 (+{:.1} %)",
-                    a.piccolo_accelerator_mm2,
-                    100.0 * a.onchip_overhead_fraction
-                );
-                println!(
-                    "DRAM die overhead        {:>8.2} %",
-                    100.0 * a.dram_overhead_fraction
-                );
-                println!(
-                    "piccolo-cache tag ovhd   {:>8.2} %",
-                    100.0 * a.piccolo_tag_overhead
-                );
-                println!(
-                    "8B-line cache tag ovhd   {:>8.2} %",
-                    100.0 * a.line8_tag_overhead
-                );
-                println!();
-                summary.push(("Area (Section VII-F)".to_string(), 5));
-            }
-            other => eprintln!("unknown figure '{other}'"),
+    let mut reproduced: Vec<FigureRows> = Vec::new();
+    for f in &figures {
+        let Some(spec) = piccolo::experiments::default_spec(f, scale) else {
+            eprintln!("unknown figure '{f}'");
+            continue;
+        };
+        let points = runner.run(&spec);
+        println!("== {} ==", spec.title());
+        for p in &points {
+            println!("{p}");
         }
+        println!();
+        reproduced.push(FigureRows {
+            name: spec.name().to_string(),
+            title: spec.title().to_string(),
+            points,
+        });
     }
+
+    if let Some(path) = &out_path {
+        let doc = results_json(scale, &reproduced);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
     println!("== Summary ==");
     println!("{:<40} {:>12}", "figure", "rows");
-    for (figure, rows) in &summary {
-        println!("{figure:<40} {rows:>12}");
+    for f in &reproduced {
+        println!("{:<40} {:>12}", f.title, f.points.len());
     }
     println!(
-        "{} figure(s)/table(s) reproduced at scale shift {} in {:.1} s",
-        summary.len(),
+        "{} figure(s)/table(s) reproduced at scale shift {} with {} worker(s) in {:.1} s",
+        reproduced.len(),
         scale.scale_shift,
+        runner.jobs(),
         started.elapsed().as_secs_f64()
     );
 }

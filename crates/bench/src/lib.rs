@@ -1,2 +1,235 @@
-//! Benchmark harness crate: see the `repro` binary and the Criterion benches under
-//! `benches/`. All experiment logic lives in `piccolo::experiments`.
+//! Support library for the benchmark harness and the `repro` binary: deterministic
+//! speedup metrics extracted from figure rows, `BENCH.json` serialization, and the
+//! regression-floor check against the checked-in `baselines.json`.
+//!
+//! The bench-smoke CI job runs the harness in quick mode, uploads `BENCH.json` as an
+//! artifact, and fails the build if any tracked Piccolo-vs-baseline speedup drops below
+//! its floor. Floors live in `crates/bench/baselines.json` — a flat JSON object mapping
+//! metric name to the minimum acceptable value. Metrics are **model outputs** (cycle
+//! ratios), not wall-clock, so they are deterministic and safe to gate CI on.
+
+use piccolo::experiments::{geomean, Point};
+use piccolo::json::Json;
+
+/// Timing and rows of one benched figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureBench {
+    /// Machine-readable figure name (`fig10`).
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Number of rows the figure produced.
+    pub rows: usize,
+    /// Fastest sample in milliseconds.
+    pub min_ms: f64,
+    /// Mean sample in milliseconds.
+    pub mean_ms: f64,
+}
+
+fn gm_of<'a>(
+    points: &'a [Point],
+    key: &str,
+    select: impl Fn(&str) -> bool + 'a,
+) -> Vec<(String, f64)> {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|p| select(&p.label))
+        .map(|p| p.value)
+        .collect();
+    if vals.is_empty() {
+        Vec::new()
+    } else {
+        vec![(key.to_string(), geomean(&vals))]
+    }
+}
+
+/// Extracts the deterministic Piccolo-vs-baseline speedup metrics tracked by the
+/// bench-smoke CI job from one figure's rows. Figures without a meaningful
+/// Piccolo-vs-baseline ratio contribute no metrics.
+pub fn speedup_metrics(figure: &str, points: &[Point]) -> Vec<(String, f64)> {
+    match figure {
+        // FIM microbenchmark: conventional-vs-FIM service-time ratio per stride case.
+        "fig09" => gm_of(points, "fig09/gm_fim_speedup", |_| true),
+        // Overall speedup: the figure's own geometric-mean row.
+        "fig10" => points
+            .iter()
+            .find(|p| p.label == "GM/Piccolo")
+            .map(|p| vec![("fig10/gm_piccolo".to_string(), p.value)])
+            .unwrap_or_default(),
+        // Cache-design sweep: the default Piccolo cache (LRU) vs the conventional base.
+        "fig11" => gm_of(points, "fig11/gm_piccolo_lru", |l| {
+            l.ends_with("/Piccolo (LRU)")
+        }),
+        // Synthetic graphs.
+        "fig18" => gm_of(points, "fig18/gm_piccolo", |l| l.ends_with("/Piccolo")),
+        // Vertex-centric Piccolo vs the vertex-centric conventional baseline.
+        "fig19a" => gm_of(points, "fig19a/gm_vc_piccolo", |l| {
+            l.ends_with("/VC/Piccolo")
+        }),
+        // OLAP column scans.
+        "fig19b" => gm_of(points, "fig19b/gm_olap", |_| true),
+        // Enhanced-FIM sweep: plain Piccolo rows only (not "Piccolo enhanced").
+        "fig20a" => gm_of(points, "fig20a/gm_piccolo", |l| l.ends_with("/Piccolo")),
+        _ => Vec::new(),
+    }
+}
+
+/// Serializes a bench run into the `BENCH.json` document (schema `piccolo-bench/v1`).
+///
+/// Unlike `results.json` this document *does* carry wall-clock numbers (`min_ms`,
+/// `mean_ms`, `jobs`) — it tracks the perf trajectory of the harness itself and is
+/// uploaded as a CI artifact, never byte-compared.
+pub fn bench_json(
+    samples: u32,
+    jobs: usize,
+    figures: &[FigureBench],
+    metrics: &[(String, f64)],
+) -> String {
+    let doc = Json::obj([
+        ("schema", Json::str("piccolo-bench/v1")),
+        ("samples", Json::Num(samples as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        (
+            "figures",
+            Json::Arr(
+                figures
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("name", Json::str(&f.name)),
+                            ("title", Json::str(&f.title)),
+                            ("rows", Json::Num(f.rows as f64)),
+                            ("min_ms", Json::Num(f.min_ms)),
+                            ("mean_ms", Json::Num(f.mean_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "metrics",
+            Json::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
+}
+
+/// Checks measured metrics against the floors of a parsed `baselines.json` (a flat
+/// object mapping metric name to minimum acceptable value).
+///
+/// Returns the list of failure messages — empty means every floor holds. A floor whose
+/// metric was not measured is a failure too, so silently dropping a figure from the
+/// bench cannot fade a regression gate out.
+pub fn check_floors(metrics: &[(String, f64)], baselines: &Json) -> Result<Vec<String>, String> {
+    let pairs = baselines
+        .as_object()
+        .ok_or("baselines.json must be a flat JSON object of metric -> floor")?;
+    let mut failures = Vec::new();
+    for (name, floor) in pairs {
+        let floor = floor
+            .as_f64()
+            .ok_or_else(|| format!("baseline '{name}' is not a number"))?;
+        match metrics.iter().find(|(k, _)| k == name) {
+            None => failures.push(format!("metric '{name}' was not measured (floor {floor})")),
+            Some((_, value)) if *value < floor => failures.push(format!(
+                "metric '{name}' regressed: {value:.4} < floor {floor:.4}"
+            )),
+            Some(_) => {}
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piccolo::json::parse;
+
+    fn pt(label: &str, value: f64) -> Point {
+        Point {
+            label: label.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn fig10_metric_is_the_gm_row() {
+        let points = [pt("BFS/SW/Piccolo", 3.0), pt("GM/Piccolo", 2.5)];
+        let m = speedup_metrics("fig10", &points);
+        assert_eq!(m, vec![("fig10/gm_piccolo".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn fig20a_metric_excludes_enhanced_rows() {
+        let points = [
+            pt("PR/DDR4x4/Piccolo", 2.0),
+            pt("PR/DDR4x4/Piccolo enhanced", 8.0),
+        ];
+        let m = speedup_metrics("fig20a", &points);
+        assert_eq!(m.len(), 1);
+        assert!((m[0].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figures_without_ratios_contribute_nothing() {
+        assert!(speedup_metrics("table2", &[pt("SW/paper-edges", 1.0)]).is_empty());
+        assert!(speedup_metrics("fig10", &[]).is_empty());
+    }
+
+    #[test]
+    fn floors_pass_fail_and_catch_missing_metrics() {
+        let baselines = parse(r#"{"fig10/gm_piccolo": 2.0, "fig09/gm_fim_speedup": 3.0}"#).unwrap();
+        let ok = check_floors(
+            &[
+                ("fig10/gm_piccolo".to_string(), 2.4),
+                ("fig09/gm_fim_speedup".to_string(), 3.5),
+            ],
+            &baselines,
+        )
+        .unwrap();
+        assert!(ok.is_empty());
+        let bad = check_floors(&[("fig10/gm_piccolo".to_string(), 1.5)], &baselines).unwrap();
+        assert_eq!(bad.len(), 2, "{bad:?}"); // one regression + one missing metric
+        assert!(check_floors(&[], &parse("[1,2]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let doc = bench_json(
+            2,
+            4,
+            &[FigureBench {
+                name: "fig10".to_string(),
+                title: "Fig. 10".to_string(),
+                rows: 12,
+                min_ms: 1.25,
+                mean_ms: 1.5,
+            }],
+            &[("fig10/gm_piccolo".to_string(), 2.5)],
+        );
+        let v = parse(doc.trim()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("piccolo-bench/v1")
+        );
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("fig10/gm_piccolo"))
+                .and_then(Json::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(
+            v.get("figures").unwrap().as_array().unwrap()[0]
+                .get("rows")
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+    }
+}

@@ -39,3 +39,24 @@ pub use sectored::SectoredCache;
 pub use setassoc::SetAssocCache;
 pub use stats::CacheStats;
 pub use traits::{AccessResult, MissAction, ReplacementPolicy, SectorCache};
+
+#[cfg(test)]
+mod send_audit {
+    //! Parallel sweeps (`piccolo::sweep`) ship per-run simulation state — including the
+    //! boxed cache models inside the accelerator's memory path — to worker threads.
+    //! These assertions fail to compile if a cache model grows shared mutability
+    //! (`Rc`, `RefCell`, raw pointers) instead of per-run ownership.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn every_cache_model_is_send() {
+        assert_send::<SetAssocCache>();
+        assert_send::<SectoredCache>();
+        assert_send::<PiccoloCache>();
+        assert_send::<CollectionMshr>();
+        assert_send::<CacheStats>();
+        assert_send::<Box<dyn SectorCache>>();
+    }
+}

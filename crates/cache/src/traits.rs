@@ -74,7 +74,12 @@ pub enum ReplacementPolicy {
 }
 
 /// The interface shared by every cache model in this crate.
-pub trait SectorCache {
+///
+/// `Send` is a supertrait: parallel design-space sweeps (`piccolo::sweep`) execute one
+/// simulation per worker thread, so every cache model — including boxed trait objects
+/// inside the accelerator's memory path — must be shippable to a worker. All models are
+/// plain owned data, so this costs nothing; it exists to keep it that way.
+pub trait SectorCache: Send {
     /// Accesses `bytes` bytes at `addr`. `write == true` marks the data dirty.
     fn access(&mut self, addr: u64, bytes: u32, write: bool) -> AccessResult;
 

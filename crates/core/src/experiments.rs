@@ -1,18 +1,24 @@
 //! Experiment drivers reproducing every table and figure of the paper's evaluation.
 //!
-//! Each function runs the corresponding experiment at a configurable [`Scale`] and returns
-//! printable rows; the `piccolo-bench` crate exposes them as binaries (one per figure) and
-//! as Criterion benchmarks. `EXPERIMENTS.md` records the expected shapes and the values
-//! measured with the default scale.
+//! Each figure is declared as an [`ExperimentSpec`] (see [`crate::sweep`]): a grid of
+//! independent simulation runs plus the derived output rows (speedups, ratios, geometric
+//! means) computed from the completed grid. A [`SweepRunner`] executes the grid across a
+//! worker pool with bit-identical output for any worker count; the `piccolo-bench` crate
+//! exposes the specs through the `repro` binary (`--jobs N`) and the hand-rolled bench
+//! harness, both of which also emit the machine-readable `results.json` / `BENCH.json`.
+//!
+//! For callers that just want the rows, every figure keeps a plain function
+//! (`fig10(...)`, `fig14(...)`, ...) that builds its spec and runs it sequentially.
+//! `EXPERIMENTS.md` records the expected shapes and the values measured with the default
+//! scale.
 
 use crate::olap::{self, OlapQuery};
 use crate::report::SimReport;
-use piccolo_accel::{
-    simulate, simulate_edge_centric, CacheKind, RunResult, SimConfig, SystemKind, TilingPolicy,
-};
-use piccolo_algo::{Algorithm, Bfs, ConnectedComponents, PageRank, Sssp, Sswp, VertexProgram};
+use crate::sweep::{ExperimentSpec, RunConfig, RunHandle, SweepRunner, TraversalKind};
+use piccolo_accel::{CacheKind, SimConfig, SystemKind, TilingPolicy};
+use piccolo_algo::Algorithm;
 use piccolo_dram::{DramConfig, MemoryKind};
-use piccolo_graph::{Csr, Dataset};
+use piccolo_graph::Dataset;
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +32,7 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// A quick scale suitable for CI and Criterion benches (seconds per figure).
+    /// A quick scale suitable for CI and the bench harness (seconds per figure).
     pub fn quick() -> Self {
         Self {
             scale_shift: 13,
@@ -60,37 +66,86 @@ impl std::fmt::Display for Point {
     }
 }
 
-fn run_algorithm(graph: &Csr, alg: Algorithm, cfg: &SimConfig) -> RunResult {
-    match alg {
-        Algorithm::PageRank => simulate(graph, &PageRank::default(), cfg),
-        Algorithm::Bfs => simulate(graph, &Bfs::new(0), cfg),
-        Algorithm::ConnectedComponents => simulate(graph, &ConnectedComponents::new(), cfg),
-        Algorithm::Sssp => simulate(graph, &Sssp::new(0), cfg),
-        Algorithm::Sswp => simulate(graph, &Sswp::new(0), cfg),
-    }
-}
-
-fn run_algorithm_ec<P: VertexProgram>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult {
-    simulate_edge_centric(graph, program, cfg)
-}
-
 fn config(system: SystemKind, scale: Scale) -> SimConfig {
     SimConfig::for_system(system, scale.scale_shift).with_max_iterations(scale.max_iterations)
 }
 
-fn geomean(values: &[f64]) -> f64 {
+/// Vertex-centric run description at `scale`.
+fn vc(d: Dataset, scale: Scale, alg: Algorithm, cfg: SimConfig) -> RunConfig {
+    RunConfig::new(
+        d,
+        scale.scale_shift,
+        scale.seed,
+        alg,
+        TraversalKind::VertexCentric,
+        cfg,
+    )
+}
+
+/// Edge-centric run description at `scale`.
+fn ec(d: Dataset, scale: Scale, alg: Algorithm, cfg: SimConfig) -> RunConfig {
+    RunConfig::new(
+        d,
+        scale.scale_shift,
+        scale.seed,
+        alg,
+        TraversalKind::EdgeCentric,
+        cfg,
+    )
+}
+
+/// Geometric mean with values clamped to `1e-12` (0.0 for an empty slice) — the
+/// aggregation every "GM" figure row uses. Exported so the bench harness's speedup
+/// metrics aggregate exactly the way the figures themselves do.
+pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
+/// Every figure/table name the reproduction knows, in the order `repro all` runs them.
+pub const FIGURES: [&str; 17] = [
+    "table2", "fig03", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19a", "fig19b", "fig20a", "fig20b", "area",
+];
+
+/// Builds the spec for `name` with the default dataset/algorithm selection the `repro`
+/// binary uses; `None` for unknown names.
+pub fn default_spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
+    let datasets = Dataset::REAL_WORLD;
+    let algorithms = Algorithm::ALL;
+    let one_alg = [Algorithm::PageRank, Algorithm::Bfs];
+    Some(match name {
+        "table2" => table2_spec(scale),
+        "fig03" => fig03_spec(
+            scale,
+            &[Dataset::Twitter, Dataset::Sinaweibo, Dataset::Friendster],
+        ),
+        "fig09" => fig09_spec(),
+        "fig10" => fig10_spec(scale, &datasets, &algorithms),
+        "fig11" => fig11_spec(scale, &[Dataset::Sinaweibo, Dataset::Friendster], &one_alg),
+        "fig12" => fig12_spec(scale, &datasets, &algorithms),
+        "fig13" => fig13_spec(scale, &[Dataset::Sinaweibo], &algorithms),
+        "fig14" => fig14_spec(scale, &[Dataset::Sinaweibo, Dataset::Friendster], &one_alg),
+        "fig15" => fig15_spec(scale, Dataset::Sinaweibo, &algorithms),
+        "fig16" => fig16_spec(scale, Dataset::Sinaweibo, &algorithms),
+        "fig17" => fig17_spec(scale, Dataset::Sinaweibo, &algorithms),
+        "fig18" => fig18_spec(scale),
+        "fig19a" => fig19a_spec(scale, &datasets),
+        "fig19b" => fig19b_spec(200_000),
+        "fig20a" => fig20a_spec(scale, Dataset::Sinaweibo, &one_alg),
+        "fig20b" => fig20b_spec(scale, &datasets),
+        "area" => area_spec(),
+        _ => return None,
+    })
+}
+
 /// Fig. 3 — motivational experiment: useful vs unuseful off-chip traffic and RD/WR
 /// transactions for BFS on the baseline, without tiling and with perfect tiling.
-pub fn fig03(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for d in datasets {
-        let g = d.build(scale.scale_shift, scale.seed);
+pub fn fig03_spec(scale: Scale, datasets: &[Dataset]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig03", "Fig. 3 (motivation)");
+    for &d in datasets {
         for (mode, tiling) in [
             ("Non-Tiling", TilingPolicy::None),
             ("Perfect", TilingPolicy::Perfect),
@@ -98,240 +153,287 @@ pub fn fig03(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
             let cfg = config(SystemKind::GraphDynsCache, scale)
                 .with_tiling(tiling)
                 .with_max_iterations(40);
-            let r = run_algorithm(&g, Algorithm::Bfs, &cfg);
-            out.push(Point {
-                label: format!("BFS/{}/{mode}/useful%", d.short_name()),
-                value: 100.0 * r.mem_stats.useful_fraction(),
+            let h = b.sim(vc(d, scale, Algorithm::Bfs, cfg));
+            b.point(format!("BFS/{}/{mode}/useful%", d.short_name()), move |r| {
+                100.0 * r.run(h).mem_stats.useful_fraction()
             });
-            out.push(Point {
-                label: format!("BFS/{}/{mode}/read_tx", d.short_name()),
-                value: r.mem_stats.read_transactions as f64,
+            b.point(format!("BFS/{}/{mode}/read_tx", d.short_name()), move |r| {
+                r.run(h).mem_stats.read_transactions as f64
             });
-            out.push(Point {
-                label: format!("BFS/{}/{mode}/write_tx", d.short_name()),
-                value: r.mem_stats.write_transactions as f64,
+            b.point(
+                format!("BFS/{}/{mode}/write_tx", d.short_name()),
+                move |r| r.run(h).mem_stats.write_transactions as f64,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Fig. 3 rows (sequential execution of [`fig03_spec`]).
+pub fn fig03(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig03_spec(scale, datasets))
+}
+
+/// One (stride pattern, stride) case of the Fig. 9 strided-read microbenchmark.
+fn fig09_point(case: &'static str, span: u64, stride: u64) -> Point {
+    use piccolo_dram::{AddressMapper, MemRequest, MemorySystem, Region};
+    let cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4);
+    let mapper = AddressMapper::new(&cfg);
+    let items = 16 * 1024 * 1024 / (stride * 8) / 64; // scaled-down 16 MB / 64
+    let addr_of = |i: u64| i * stride * 8 * span.max(1);
+    let mut conv = MemorySystem::new(cfg);
+    let t_conv = conv
+        .service_batch((0..items).map(|i| MemRequest::Read {
+            addr: addr_of(i),
+            useful_bytes: 8,
+            region: Region::Other,
+        }))
+        .elapsed_clocks();
+    let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
+    let mut fim = MemorySystem::new(fim_cfg);
+    let mut by_row: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+    let mut order = Vec::new();
+    for i in 0..items {
+        let a = addr_of(i);
+        let loc = mapper.decompose(a);
+        let row = mapper.row_id_of(&loc);
+        by_row
+            .entry(row)
+            .or_insert_with(|| {
+                order.push(row);
+                Vec::new()
+            })
+            .push(loc.word_offset());
+    }
+    let mut reqs = Vec::new();
+    for row in order {
+        for chunk in by_row[&row].chunks(8) {
+            reqs.push(MemRequest::GatherFim {
+                row,
+                offsets: chunk.to_vec(),
+                region: Region::Other,
             });
         }
     }
-    out
+    let t_fim = fim.service_batch(reqs).elapsed_clocks();
+    Point {
+        label: format!("{case}/stride{stride}/speedup"),
+        value: t_conv as f64 / t_fim.max(1) as f64,
+    }
 }
 
 /// Fig. 9 — strided-read microbenchmark on the DRAM model (single-row vs multi-row).
-pub fn fig09() -> Vec<Point> {
-    use piccolo_dram::{AddressMapper, MemRequest, MemorySystem, Region};
-    let mut out = Vec::new();
+pub fn fig09_spec() -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig09", "Fig. 9 (FIM microbenchmark)");
     for (case, span) in [("single-row", 1u64), ("multi-row", 64)] {
         for stride in [4u64, 8, 16, 32] {
-            let cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4);
-            let mapper = AddressMapper::new(&cfg);
-            let items = 16 * 1024 * 1024 / (stride * 8) / 64; // scaled-down 16 MB / 64
-            let addr_of = |i: u64| i * stride * 8 * span.max(1);
-            let mut conv = MemorySystem::new(cfg);
-            let t_conv = conv
-                .service_batch((0..items).map(|i| MemRequest::Read {
-                    addr: addr_of(i),
-                    useful_bytes: 8,
-                    region: Region::Other,
-                }))
-                .elapsed_clocks();
-            let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
-            let mut fim = MemorySystem::new(fim_cfg);
-            let mut by_row: std::collections::HashMap<_, Vec<u16>> =
-                std::collections::HashMap::new();
-            let mut order = Vec::new();
-            for i in 0..items {
-                let a = addr_of(i);
-                let loc = mapper.decompose(a);
-                let row = mapper.row_id_of(&loc);
-                by_row
-                    .entry(row)
-                    .or_insert_with(|| {
-                        order.push(row);
-                        Vec::new()
-                    })
-                    .push(loc.word_offset());
-            }
-            let mut reqs = Vec::new();
-            for row in order {
-                for chunk in by_row[&row].chunks(8) {
-                    reqs.push(MemRequest::GatherFim {
-                        row,
-                        offsets: chunk.to_vec(),
-                        region: Region::Other,
-                    });
-                }
-            }
-            let t_fim = fim.service_batch(reqs).elapsed_clocks();
-            out.push(Point {
-                label: format!("{case}/stride{stride}/speedup"),
-                value: t_conv as f64 / t_fim.max(1) as f64,
-            });
+            b.measure(move || vec![fig09_point(case, span, stride)]);
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 9 rows (sequential execution of [`fig09_spec`]).
+pub fn fig09() -> Vec<Point> {
+    SweepRunner::sequential().run(&fig09_spec())
 }
 
 /// Fig. 10 — overall speedup of every system over GraphDyns (Cache), per algorithm and
 /// dataset, plus the geometric mean.
-pub fn fig10(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    let mut per_system_speedups: std::collections::HashMap<&'static str, Vec<f64>> =
-        std::collections::HashMap::new();
-    for alg in algorithms {
-        for d in datasets {
-            let g = d.build(scale.scale_shift, scale.seed);
-            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
+pub fn fig10_spec(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig10", "Fig. 10 (overall speedup)");
+    let mut per_system: Vec<(SystemKind, Vec<(RunHandle, RunHandle)>)> =
+        SystemKind::ALL.iter().map(|&s| (s, Vec::new())).collect();
+    for &alg in algorithms {
+        for &d in datasets {
+            let base = b.sim(vc(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
             for system in SystemKind::ALL {
-                let r = if system == SystemKind::GraphDynsCache {
-                    base.clone()
+                let h = if system == SystemKind::GraphDynsCache {
+                    base
                 } else {
-                    run_algorithm(&g, *alg, &config(system, scale))
+                    b.sim(vc(d, scale, alg, config(system, scale)))
                 };
-                let speedup = base.accel_cycles as f64 / r.accel_cycles.max(1) as f64;
-                per_system_speedups
-                    .entry(system.name())
-                    .or_default()
-                    .push(speedup);
-                out.push(Point {
-                    label: format!("{}/{}/{}", alg.short_name(), d.short_name(), system.name()),
-                    value: speedup,
-                });
+                per_system
+                    .iter_mut()
+                    .find(|(s, _)| *s == system)
+                    .unwrap()
+                    .1
+                    .push((base, h));
+                b.point(
+                    format!("{}/{}/{}", alg.short_name(), d.short_name(), system.name()),
+                    move |r| r.speedup(base, h),
+                );
             }
         }
     }
-    for system in SystemKind::ALL {
-        out.push(Point {
-            label: format!("GM/{}", system.name()),
-            value: geomean(&per_system_speedups[system.name()]),
+    for (system, pairs) in per_system {
+        b.point(format!("GM/{}", system.name()), move |r| {
+            let speedups: Vec<f64> = pairs.iter().map(|&(bh, h)| r.speedup(bh, h)).collect();
+            geomean(&speedups)
         });
     }
-    out
+    b.build()
+}
+
+/// Fig. 10 rows (sequential execution of [`fig10_spec`]).
+pub fn fig10(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig10_spec(scale, datasets, algorithms))
 }
 
 /// Fig. 11 — fine-grained cache designs on top of Piccolo-FIM, normalized to the
 /// conventional-cache baseline.
-pub fn fig11(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for alg in algorithms {
-        for d in datasets {
-            let g = d.build(scale.scale_shift, scale.seed);
-            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
+pub fn fig11_spec(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig11", "Fig. 11 (cache designs)");
+    for &alg in algorithms {
+        for &d in datasets {
+            let base = b.sim(vc(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
             for cache in CacheKind::FIG11 {
                 let cfg = config(SystemKind::Piccolo, scale).with_cache(cache);
-                let r = run_algorithm(&g, *alg, &cfg);
-                out.push(Point {
-                    label: format!("{}/{}/{}", alg.short_name(), d.short_name(), cache.name()),
-                    value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
-                });
+                let h = b.sim(vc(d, scale, alg, cfg));
+                b.point(
+                    format!("{}/{}/{}", alg.short_name(), d.short_name(), cache.name()),
+                    move |r| r.speedup(base, h),
+                );
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 11 rows (sequential execution of [`fig11_spec`]).
+pub fn fig11(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig11_spec(scale, datasets, algorithms))
 }
 
 /// Fig. 12 — normalized off-chip memory accesses (reads and writes) of Piccolo relative
 /// to the baseline.
-pub fn fig12(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for alg in algorithms {
-        for d in datasets {
-            let g = d.build(scale.scale_shift, scale.seed);
-            let base = run_algorithm(&g, *alg, &config(SystemKind::GraphDynsCache, scale));
-            let pic = run_algorithm(&g, *alg, &config(SystemKind::Piccolo, scale));
-            let total_base = base.mem_stats.total_transactions().max(1) as f64;
-            out.push(Point {
-                label: format!("{}/{}/read", alg.short_name(), d.short_name()),
-                value: pic.mem_stats.read_transactions as f64 / total_base,
-            });
-            out.push(Point {
-                label: format!("{}/{}/write", alg.short_name(), d.short_name()),
-                value: pic.mem_stats.write_transactions as f64 / total_base,
-            });
+pub fn fig12_spec(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig12", "Fig. 12 (memory accesses)");
+    for &alg in algorithms {
+        for &d in datasets {
+            let base = b.sim(vc(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
+            let pic = b.sim(vc(d, scale, alg, config(SystemKind::Piccolo, scale)));
+            b.point(
+                format!("{}/{}/read", alg.short_name(), d.short_name()),
+                move |r| {
+                    r.run(pic).mem_stats.read_transactions as f64
+                        / r.run(base).mem_stats.total_transactions().max(1) as f64
+                },
+            );
+            b.point(
+                format!("{}/{}/write", alg.short_name(), d.short_name()),
+                move |r| {
+                    r.run(pic).mem_stats.write_transactions as f64
+                        / r.run(base).mem_stats.total_transactions().max(1) as f64
+                },
+            );
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 12 rows (sequential execution of [`fig12_spec`]).
+pub fn fig12(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig12_spec(scale, datasets, algorithms))
 }
 
 /// Fig. 13 — off-chip and DRAM-internal bandwidth of the baseline, PIM and Piccolo.
-pub fn fig13(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for alg in algorithms {
-        for d in datasets {
-            let g = d.build(scale.scale_shift, scale.seed);
+pub fn fig13_spec(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig13", "Fig. 13 (bandwidth)");
+    for &alg in algorithms {
+        for &d in datasets {
             for system in [
                 SystemKind::GraphDynsCache,
                 SystemKind::Pim,
                 SystemKind::Piccolo,
             ] {
-                let r = run_algorithm(&g, *alg, &config(system, scale));
-                out.push(Point {
-                    label: format!(
+                let h = b.sim(vc(d, scale, alg, config(system, scale)));
+                b.point(
+                    format!(
                         "{}/{}/{}/offchip GB-s",
                         alg.short_name(),
                         d.short_name(),
                         system.name()
                     ),
-                    value: r.offchip_bandwidth_gbps(),
-                });
+                    move |r| r.run(h).offchip_bandwidth_gbps(),
+                );
                 if system != SystemKind::GraphDynsCache {
-                    out.push(Point {
-                        label: format!(
+                    b.point(
+                        format!(
                             "{}/{}/{}/internal GB-s",
                             alg.short_name(),
                             d.short_name(),
                             system.name()
                         ),
-                        value: r.internal_bandwidth_gbps(),
-                    });
+                        move |r| r.run(h).internal_bandwidth_gbps(),
+                    );
                 }
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 13 rows (sequential execution of [`fig13_spec`]).
+pub fn fig13(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig13_spec(scale, datasets, algorithms))
+}
+
+/// The Fig. 14 energy categories, keyed by the label fragment the figure uses.
+const ENERGY_CATEGORIES: [&str; 6] = ["acc", "cache", "dram_rd", "dram_wr", "dram_io", "others"];
+
+fn energy_component(e: &crate::report::EnergyBreakdown, name: &str) -> f64 {
+    match name {
+        "acc" => e.accelerator_nj,
+        "cache" => e.cache_nj,
+        "dram_rd" => e.dram_read_nj,
+        "dram_wr" => e.dram_write_nj,
+        "dram_io" => e.dram_io_nj,
+        "others" => e.others_nj,
+        _ => unreachable!("unknown energy category {name}"),
+    }
 }
 
 /// Fig. 14 — normalized energy breakdown of Piccolo relative to the baseline.
-pub fn fig14(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for alg in algorithms {
-        for d in datasets {
-            let g = d.build(scale.scale_shift, scale.seed);
+pub fn fig14_spec(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig14", "Fig. 14 (energy)");
+    for &alg in algorithms {
+        for &d in datasets {
             let base_cfg = config(SystemKind::GraphDynsCache, scale);
             let pic_cfg = config(SystemKind::Piccolo, scale);
-            let base = SimReport::from_run(run_algorithm(&g, *alg, &base_cfg), &base_cfg.dram);
-            let pic = SimReport::from_run(run_algorithm(&g, *alg, &pic_cfg), &pic_cfg.dram);
-            let denom = base.energy.total_nj().max(1e-9);
-            for (name, b, p) in [
-                ("acc", base.energy.accelerator_nj, pic.energy.accelerator_nj),
-                ("cache", base.energy.cache_nj, pic.energy.cache_nj),
-                ("dram_rd", base.energy.dram_read_nj, pic.energy.dram_read_nj),
-                (
-                    "dram_wr",
-                    base.energy.dram_write_nj,
-                    pic.energy.dram_write_nj,
-                ),
-                ("dram_io", base.energy.dram_io_nj, pic.energy.dram_io_nj),
-                ("others", base.energy.others_nj, pic.energy.others_nj),
-            ] {
-                out.push(Point {
-                    label: format!("{}/{}/base/{}", alg.short_name(), d.short_name(), name),
-                    value: b / denom,
-                });
-                out.push(Point {
-                    label: format!("{}/{}/piccolo/{}", alg.short_name(), d.short_name(), name),
-                    value: p / denom,
-                });
+            let hb = b.sim(vc(d, scale, alg, base_cfg));
+            let hp = b.sim(vc(d, scale, alg, pic_cfg));
+            for name in ENERGY_CATEGORIES {
+                b.point(
+                    format!("{}/{}/base/{}", alg.short_name(), d.short_name(), name),
+                    move |r| {
+                        let base = SimReport::from_run(r.run(hb).clone(), &base_cfg.dram).energy;
+                        energy_component(&base, name) / base.total_nj().max(1e-9)
+                    },
+                );
+                b.point(
+                    format!("{}/{}/piccolo/{}", alg.short_name(), d.short_name(), name),
+                    move |r| {
+                        let base = SimReport::from_run(r.run(hb).clone(), &base_cfg.dram).energy;
+                        let pic = SimReport::from_run(r.run(hp).clone(), &pic_cfg.dram).energy;
+                        energy_component(&pic, name) / base.total_nj().max(1e-9)
+                    },
+                );
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 14 rows (sequential execution of [`fig14_spec`]).
+pub fn fig14(scale: Scale, datasets: &[Dataset], algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig14_spec(scale, datasets, algorithms))
 }
 
 /// Fig. 15 — memory-type sensitivity (cycles, baseline vs Piccolo) on one dataset.
-pub fn fig15(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    let g = dataset.build(scale.scale_shift, scale.seed);
-    for alg in algorithms {
+pub fn fig15_spec(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig15", "Fig. 15 (memory types)");
+    for &alg in algorithms {
         for kind in MemoryKind::ALL {
             for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
                 let mut dram = DramConfig::new(kind, 2, 4).with_row_bytes(1024);
@@ -339,27 +441,31 @@ pub fn fig15(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Po
                     dram = dram.with_fim();
                 }
                 let cfg = config(system, scale).with_dram(dram);
-                let r = run_algorithm(&g, *alg, &cfg);
-                out.push(Point {
-                    label: format!(
+                let h = b.sim(vc(dataset, scale, alg, cfg));
+                b.point(
+                    format!(
                         "{}/{}/{}/cycles",
                         alg.short_name(),
                         kind.name(),
                         system.name()
                     ),
-                    value: r.accel_cycles as f64,
-                });
+                    move |r| r.run(h).accel_cycles as f64,
+                );
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 15 rows (sequential execution of [`fig15_spec`]).
+pub fn fig15(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig15_spec(scale, dataset, algorithms))
 }
 
 /// Fig. 16 — channel/rank sensitivity (cycles) on one dataset.
-pub fn fig16(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    let g = dataset.build(scale.scale_shift, scale.seed);
-    for alg in algorithms {
+pub fn fig16_spec(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig16", "Fig. 16 (channels/ranks)");
+    for &alg in algorithms {
         for channels in [1u32, 2] {
             for ranks in [1u32, 2, 4] {
                 for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
@@ -369,57 +475,69 @@ pub fn fig16(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Po
                         dram = dram.with_fim();
                     }
                     let cfg = config(system, scale).with_dram(dram);
-                    let r = run_algorithm(&g, *alg, &cfg);
-                    out.push(Point {
-                        label: format!(
+                    let h = b.sim(vc(dataset, scale, alg, cfg));
+                    b.point(
+                        format!(
                             "{}/ch{}ra{}/{}/cycles",
                             alg.short_name(),
                             channels,
                             ranks,
                             system.name()
                         ),
-                        value: r.accel_cycles as f64,
-                    });
+                        move |r| r.run(h).accel_cycles as f64,
+                    );
                 }
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 16 rows (sequential execution of [`fig16_spec`]).
+pub fn fig16(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig16_spec(scale, dataset, algorithms))
 }
 
 /// Fig. 17 — tile-size sensitivity (normalized cycles vs scaling factor) on one dataset.
-pub fn fig17(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    let g = dataset.build(scale.scale_shift, scale.seed);
-    for alg in algorithms {
-        let base_ref = run_algorithm(
-            &g,
-            *alg,
-            &config(SystemKind::GraphDynsCache, scale).with_tiling(TilingPolicy::Perfect),
-        );
+pub fn fig17_spec(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig17", "Fig. 17 (tile size)");
+    for &alg in algorithms {
+        let base_ref = b.sim(vc(
+            dataset,
+            scale,
+            alg,
+            config(SystemKind::GraphDynsCache, scale).with_tiling(TilingPolicy::Perfect),
+        ));
         for factor in [1u32, 2, 4, 8, 16] {
             for system in [SystemKind::GraphDynsCache, SystemKind::Piccolo] {
                 let cfg = config(system, scale).with_tiling(TilingPolicy::Scaled(factor));
-                let r = run_algorithm(&g, *alg, &cfg);
-                out.push(Point {
-                    label: format!(
+                let h = b.sim(vc(dataset, scale, alg, cfg));
+                b.point(
+                    format!(
                         "{}/x{}/{}/norm-cycles",
                         alg.short_name(),
                         factor,
                         system.name()
                     ),
-                    value: r.accel_cycles as f64 / base_ref.accel_cycles.max(1) as f64,
-                });
+                    move |r| {
+                        r.run(h).accel_cycles as f64 / r.run(base_ref).accel_cycles.max(1) as f64
+                    },
+                );
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 17 rows (sequential execution of [`fig17_spec`]).
+pub fn fig17(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig17_spec(scale, dataset, algorithms))
 }
 
 /// Fig. 18 — synthetic-graph speedups (PR) over the baseline for Watts–Strogatz and
 /// Kronecker stand-ins at increasing scales.
-pub fn fig18(scale: Scale) -> Vec<Point> {
-    let mut out = Vec::new();
+pub fn fig18_spec(scale: Scale) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig18", "Fig. 18 (synthetic graphs)");
     let datasets = [
         Dataset::WattsStrogatz { scale: 26 },
         Dataset::WattsStrogatz { scale: 27 },
@@ -429,12 +547,12 @@ pub fn fig18(scale: Scale) -> Vec<Point> {
         Dataset::Kronecker { scale: 28 },
     ];
     for d in datasets {
-        let g = d.build(scale.scale_shift, scale.seed);
-        let base = run_algorithm(
-            &g,
+        let base = b.sim(vc(
+            d,
+            scale,
             Algorithm::PageRank,
-            &config(SystemKind::GraphDynsCache, scale),
-        );
+            config(SystemKind::GraphDynsCache, scale),
+        ));
         for system in [
             SystemKind::GraphDynsSpm,
             SystemKind::GraphDynsCache,
@@ -442,71 +560,81 @@ pub fn fig18(scale: Scale) -> Vec<Point> {
             SystemKind::Pim,
             SystemKind::Piccolo,
         ] {
-            let r = if system == SystemKind::GraphDynsCache {
-                base.clone()
+            let h = if system == SystemKind::GraphDynsCache {
+                base
             } else {
-                run_algorithm(&g, Algorithm::PageRank, &config(system, scale))
+                b.sim(vc(d, scale, Algorithm::PageRank, config(system, scale)))
             };
-            out.push(Point {
-                label: format!("PR/{}/{}", d.short_name(), system.name()),
-                value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
-            });
+            b.point(
+                format!("PR/{}/{}", d.short_name(), system.name()),
+                move |r| r.speedup(base, h),
+            );
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 18 rows (sequential execution of [`fig18_spec`]).
+pub fn fig18(scale: Scale) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig18_spec(scale))
 }
 
 /// Fig. 19a — edge-centric vs vertex-centric, conventional vs Piccolo (PR speedup over
 /// the vertex-centric conventional baseline).
-pub fn fig19a(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for d in datasets {
-        let g = d.build(scale.scale_shift, scale.seed);
-        let pr = PageRank::default();
-        let vc_base = run_algorithm(
-            &g,
-            Algorithm::PageRank,
-            &config(SystemKind::GraphDynsCache, scale),
-        );
-        let vc_pic = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::Piccolo, scale));
-        let ec_base = run_algorithm_ec(&g, &pr, &config(SystemKind::GraphDynsCache, scale));
-        let ec_pic = run_algorithm_ec(&g, &pr, &config(SystemKind::Piccolo, scale));
-        let denom = vc_base.accel_cycles.max(1) as f64;
-        for (name, r) in [
-            ("VC/Conventional", &vc_base),
-            ("VC/Piccolo", &vc_pic),
-            ("EC/Conventional", &ec_base),
-            ("EC/Piccolo", &ec_pic),
+pub fn fig19a_spec(scale: Scale, datasets: &[Dataset]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig19a", "Fig. 19a (edge-centric)");
+    for &d in datasets {
+        let alg = Algorithm::PageRank;
+        let vc_base = b.sim(vc(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
+        let vc_pic = b.sim(vc(d, scale, alg, config(SystemKind::Piccolo, scale)));
+        let ec_base = b.sim(ec(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
+        let ec_pic = b.sim(ec(d, scale, alg, config(SystemKind::Piccolo, scale)));
+        for (name, h) in [
+            ("VC/Conventional", vc_base),
+            ("VC/Piccolo", vc_pic),
+            ("EC/Conventional", ec_base),
+            ("EC/Piccolo", ec_pic),
         ] {
-            out.push(Point {
-                label: format!("PR/{}/{}", d.short_name(), name),
-                value: denom / r.accel_cycles.max(1) as f64,
+            b.point(format!("PR/{}/{}", d.short_name(), name), move |r| {
+                r.speedup(vc_base, h)
             });
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 19a rows (sequential execution of [`fig19a_spec`]).
+pub fn fig19a(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig19a_spec(scale, datasets))
 }
 
 /// Fig. 19b — OLAP column-scan speedups (Qa–Qd).
+pub fn fig19b_spec(tuples: u64) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig19b", "Fig. 19b (OLAP)");
+    for q in OlapQuery::suite(tuples) {
+        b.measure(move || {
+            vec![Point {
+                label: format!("OLAP/{}", q.name),
+                value: olap::speedup(&q, DramConfig::ddr4_2400_x16()),
+            }]
+        });
+    }
+    b.build()
+}
+
+/// Fig. 19b rows (sequential execution of [`fig19b_spec`]).
 pub fn fig19b(tuples: u64) -> Vec<Point> {
-    OlapQuery::suite(tuples)
-        .iter()
-        .map(|q| Point {
-            label: format!("OLAP/{}", q.name),
-            value: olap::speedup(q, DramConfig::ddr4_2400_x16()),
-        })
-        .collect()
+    SweepRunner::sequential().run(&fig19b_spec(tuples))
 }
 
 /// Fig. 20a — enhanced FIM designs on DDR4x4 and HBM (speedup over the baseline).
-pub fn fig20a(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
-    let mut out = Vec::new();
-    let g = dataset.build(scale.scale_shift, scale.seed);
-    for alg in algorithms {
+pub fn fig20a_spec(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig20a", "Fig. 20a (enhanced designs)");
+    for &alg in algorithms {
         for kind in [MemoryKind::Ddr4X4, MemoryKind::Hbm] {
             let base_cfg = config(SystemKind::GraphDynsCache, scale)
                 .with_dram(DramConfig::new(kind, 2, 4).with_row_bytes(1024));
-            let base = run_algorithm(&g, *alg, &base_cfg);
+            let base = b.sim(vc(dataset, scale, alg, base_cfg));
             for (name, enhanced) in [("Piccolo", false), ("Piccolo enhanced", true)] {
                 let mut dram = DramConfig::new(kind, 2, 4).with_row_bytes(1024);
                 dram = if enhanced {
@@ -515,56 +643,115 @@ pub fn fig20a(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<P
                     dram.with_fim()
                 };
                 let cfg = config(SystemKind::Piccolo, scale).with_dram(dram);
-                let r = run_algorithm(&g, *alg, &cfg);
-                out.push(Point {
-                    label: format!("{}/{}/{}", alg.short_name(), kind.name(), name),
-                    value: base.accel_cycles as f64 / r.accel_cycles.max(1) as f64,
-                });
+                let h = b.sim(vc(dataset, scale, alg, cfg));
+                b.point(
+                    format!("{}/{}/{}", alg.short_name(), kind.name(), name),
+                    move |r| r.speedup(base, h),
+                );
             }
         }
     }
-    out
+    b.build()
+}
+
+/// Fig. 20a rows (sequential execution of [`fig20a_spec`]).
+pub fn fig20a(scale: Scale, dataset: Dataset, algorithms: &[Algorithm]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig20a_spec(scale, dataset, algorithms))
 }
 
 /// Fig. 20b — effect of disabling prefetching (normalized performance, PR).
-pub fn fig20b(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
-    let mut out = Vec::new();
-    for d in datasets {
-        let g = d.build(scale.scale_shift, scale.seed);
-        let with = run_algorithm(&g, Algorithm::PageRank, &config(SystemKind::Piccolo, scale));
-        let without = run_algorithm(
-            &g,
+pub fn fig20b_spec(scale: Scale, datasets: &[Dataset]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("fig20b", "Fig. 20b (prefetch disabled)");
+    for &d in datasets {
+        let with = b.sim(vc(
+            d,
+            scale,
             Algorithm::PageRank,
-            &config(SystemKind::Piccolo, scale).without_prefetch(),
+            config(SystemKind::Piccolo, scale),
+        ));
+        let without = b.sim(vc(
+            d,
+            scale,
+            Algorithm::PageRank,
+            config(SystemKind::Piccolo, scale).without_prefetch(),
+        ));
+        b.point(
+            format!("PR/{}/no-prefetch norm-perf", d.short_name()),
+            move |r| r.run(with).accel_cycles as f64 / r.run(without).accel_cycles.max(1) as f64,
         );
-        out.push(Point {
-            label: format!("PR/{}/no-prefetch norm-perf", d.short_name()),
-            value: with.accel_cycles as f64 / without.accel_cycles.max(1) as f64,
-        });
     }
-    out
+    b.build()
+}
+
+/// Fig. 20b rows (sequential execution of [`fig20b_spec`]).
+pub fn fig20b(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    SweepRunner::sequential().run(&fig20b_spec(scale, datasets))
 }
 
 /// Table II — dataset inventory (paper sizes vs stand-in sizes).
-pub fn table2(scale: Scale) -> Vec<Point> {
-    let mut out = Vec::new();
+pub fn table2_spec(scale: Scale) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("table2", "Table II (datasets)");
     for d in Dataset::REAL_WORLD {
-        let spec = d.spec();
-        let g = d.build(scale.scale_shift, scale.seed);
-        out.push(Point {
-            label: format!("{}/paper-edges", d.short_name()),
-            value: spec.paper_edges as f64,
-        });
-        out.push(Point {
-            label: format!("{}/standin-edges", d.short_name()),
-            value: g.num_edges() as f64,
-        });
-        out.push(Point {
-            label: format!("{}/standin-avg-degree", d.short_name()),
-            value: g.average_degree(),
+        b.measure(move || {
+            let spec = d.spec();
+            let g = d.build(scale.scale_shift, scale.seed);
+            vec![
+                Point {
+                    label: format!("{}/paper-edges", d.short_name()),
+                    value: spec.paper_edges as f64,
+                },
+                Point {
+                    label: format!("{}/standin-edges", d.short_name()),
+                    value: g.num_edges() as f64,
+                },
+                Point {
+                    label: format!("{}/standin-avg-degree", d.short_name()),
+                    value: g.average_degree(),
+                },
+            ]
         });
     }
-    out
+    b.build()
+}
+
+/// Table II rows (sequential execution of [`table2_spec`]).
+pub fn table2(scale: Scale) -> Vec<Point> {
+    SweepRunner::sequential().run(&table2_spec(scale))
+}
+
+/// Section VII-F — area report rows (accelerator area, DRAM die and tag overheads).
+pub fn area_spec() -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("area", "Area (Section VII-F)");
+    b.measure(|| {
+        let a = crate::report::area_report();
+        vec![
+            Point {
+                label: "baseline accelerator/mm2".to_string(),
+                value: a.baseline_accelerator_mm2,
+            },
+            Point {
+                label: "piccolo accelerator/mm2".to_string(),
+                value: a.piccolo_accelerator_mm2,
+            },
+            Point {
+                label: "onchip overhead/%".to_string(),
+                value: 100.0 * a.onchip_overhead_fraction,
+            },
+            Point {
+                label: "DRAM die overhead/%".to_string(),
+                value: 100.0 * a.dram_overhead_fraction,
+            },
+            Point {
+                label: "piccolo-cache tag overhead/%".to_string(),
+                value: 100.0 * a.piccolo_tag_overhead,
+            },
+            Point {
+                label: "8B-line cache tag overhead/%".to_string(),
+                value: 100.0 * a.line8_tag_overhead,
+            },
+        ]
+    });
+    b.build()
 }
 
 #[cfg(test)]
@@ -617,5 +804,30 @@ mod tests {
     fn table2_preserves_relative_sizes() {
         let pts = table2(tiny());
         assert_eq!(pts.len(), 15);
+    }
+
+    #[test]
+    fn default_spec_covers_every_figure() {
+        for name in FIGURES {
+            let spec = default_spec(name, tiny()).expect(name);
+            assert_eq!(spec.name(), name);
+            assert!(!spec.title().is_empty());
+        }
+        assert!(default_spec("fig99", tiny()).is_none());
+    }
+
+    #[test]
+    fn parallel_figure_output_matches_sequential() {
+        // The acceptance-critical property at figure granularity: a parallel sweep of a
+        // real figure produces the exact same rows as the sequential reference.
+        let spec = fig10_spec(tiny(), &[Dataset::Sinaweibo], &[Algorithm::Bfs]);
+        let seq = SweepRunner::sequential().run(&spec);
+        let par = SweepRunner::new(8).run(&spec);
+        assert_eq!(seq, par);
+        let spec17 = fig17_spec(tiny(), Dataset::Sinaweibo, &[Algorithm::Bfs]);
+        assert_eq!(
+            SweepRunner::sequential().run(&spec17),
+            SweepRunner::new(3).run(&spec17)
+        );
     }
 }

@@ -8,7 +8,12 @@
 //!
 //! * [`Simulation`] — a builder that runs one workload (graph x algorithm x system) and
 //!   returns a [`SimReport`] with cycles, traffic and the Fig. 14 energy breakdown,
-//! * [`experiments`] — drivers reproducing every table and figure of the paper,
+//! * [`experiments`] — declarative drivers ([`sweep::ExperimentSpec`]) reproducing every
+//!   table and figure of the paper,
+//! * [`sweep`] — the parallel design-space sweep engine (worker pool, deterministic
+//!   result ordering) behind the `repro --jobs N` binary and the bench harness,
+//! * [`json`] — the hand-rolled JSON writer/parser of the machine-readable results
+//!   pipeline (`results.json`, `BENCH.json`, `baselines.json`),
 //! * [`olap`] — the OLAP column-scan workload of Fig. 19b,
 //! * [`report::area_report`] — the Section VII-F area numbers.
 //!
@@ -30,12 +35,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod json;
 pub mod olap;
 pub mod report;
+pub mod sweep;
 
 pub use experiments::{Point, Scale};
 pub use piccolo_accel::{CacheKind, SimConfig, SystemKind, TilingPolicy};
-pub use report::{area_report, AreaReport, EnergyBreakdown, SimReport};
+pub use report::{area_report, AreaReport, EnergyBreakdown, FigureRows, SimReport};
+pub use sweep::{ExperimentSpec, RunConfig, SweepRunner, TraversalKind};
 
 use piccolo_algo::VertexProgram;
 use piccolo_graph::Csr;

@@ -1,5 +1,8 @@
-//! End-to-end reports: timing, traffic, energy and area.
+//! End-to-end reports: timing, traffic, energy, area — and the machine-readable
+//! `results.json` document ([`results_json`]) the `repro` binary emits.
 
+use crate::experiments::{Point, Scale};
+use crate::json::Json;
 use piccolo_accel::RunResult;
 use piccolo_cache::area::{piccolo_overhead, set_assoc_overhead};
 use piccolo_dram::{dram_energy, DramConfig, DramEnergy, EnergyParams};
@@ -150,6 +153,68 @@ pub fn area_report() -> AreaReport {
     }
 }
 
+/// One reproduced figure's rows, ready for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRows {
+    /// Machine-readable figure name (`fig10`).
+    pub name: String,
+    /// Human-readable title (`Fig. 10 (overall speedup)`).
+    pub title: String,
+    /// The reproduced rows.
+    pub points: Vec<Point>,
+}
+
+/// Serializes reproduced figures into the `results.json` document (schema
+/// `piccolo-results/v1`).
+///
+/// The document deliberately contains **no wall-clock or worker-count fields**: CI
+/// byte-compares the sequential (`--jobs 1`) and parallel (`--jobs $(nproc)`) outputs,
+/// so everything in the file must be a deterministic function of (scale, figure set).
+pub fn results_json(scale: Scale, figures: &[FigureRows]) -> String {
+    let doc = Json::obj([
+        ("schema", Json::str("piccolo-results/v1")),
+        (
+            "scale",
+            Json::obj([
+                ("scale_shift", Json::Num(scale.scale_shift as f64)),
+                ("seed", Json::Num(scale.seed as f64)),
+                ("max_iterations", Json::Num(scale.max_iterations as f64)),
+            ]),
+        ),
+        (
+            "figures",
+            Json::Arr(
+                figures
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("name", Json::str(&f.name)),
+                            ("title", Json::str(&f.title)),
+                            (
+                                "points",
+                                Json::Arr(
+                                    f.points
+                                        .iter()
+                                        .map(|p| {
+                                            Json::obj([
+                                                ("label", Json::str(&p.label)),
+                                                ("value", Json::Num(p.value)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +242,33 @@ mod tests {
         let pic = report(SystemKind::Piccolo);
         assert!(pic.energy_ratio_over(&base) < 1.1);
         assert!(pic.speedup_over(&base) > 0.5);
+    }
+
+    #[test]
+    fn results_json_is_deterministic_and_parseable() {
+        let figures = [FigureRows {
+            name: "fig10".to_string(),
+            title: "Fig. 10 (overall speedup)".to_string(),
+            points: vec![Point {
+                label: "GM/Piccolo".to_string(),
+                value: 2.25,
+            }],
+        }];
+        let a = results_json(Scale::quick(), &figures);
+        let b = results_json(Scale::quick(), &figures);
+        assert_eq!(a, b);
+        let doc = crate::json::parse(a.trim()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(crate::json::Json::as_str),
+            Some("piccolo-results/v1")
+        );
+        let figs = doc.get("figures").unwrap().as_array().unwrap();
+        assert_eq!(figs.len(), 1);
+        let pts = figs[0].get("points").unwrap().as_array().unwrap();
+        assert_eq!(
+            pts[0].get("value").and_then(crate::json::Json::as_f64),
+            Some(2.25)
+        );
     }
 
     #[test]

@@ -41,3 +41,25 @@ pub use request::{MemRequest, Region};
 pub use stats::MemStats;
 pub use system::{BatchResult, CommandKind, CommandRecord, MemorySystem};
 pub use verify::{check_trace, Violation};
+
+#[cfg(test)]
+mod send_audit {
+    //! Parallel sweeps (`piccolo::sweep`) own one `MemorySystem` per run and ship it to
+    //! a worker thread. These assertions fail to compile if the DRAM model grows shared
+    //! mutability (`Rc`, `RefCell`, raw pointers) instead of per-run ownership.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn memory_system_state_is_send() {
+        assert_send::<MemorySystem>();
+        assert_send::<DramConfig>();
+        assert_send::<MemStats>();
+        assert_send::<BatchResult>();
+        assert_send::<Vec<MemRequest>>();
+        assert_sync::<DramConfig>();
+        assert_sync::<AddressMapper>();
+    }
+}

@@ -39,6 +39,51 @@ fn piccolo_outperforms_baseline_on_sparse_workload() {
 }
 
 #[test]
+fn social_network_pr_cc_workload_is_pinned() {
+    // Regression pin for the `social_network_analytics` example's PR+CC workload
+    // (ROADMAP open item). The investigated 0.88x had two components: (1) the `Best`
+    // tiling policy used a fixed 2x factor for Piccolo, which is the *sparse*-frontier
+    // sweet spot — the dense-frontier PR/CC pair wants tiles that just fit, and `Best`
+    // now searches the candidate factors and keeps the fastest, recovering ~3%; (2) at
+    // scale shift 13 the on-chip cache clamps to its 8 KiB minimum, so the
+    // working-set-to-cache ratio is 4-8x instead of the paper's ~40x — a regime where
+    // dense updates give a conventional 64 B cache full spatial locality, a scale
+    // artifact rather than a model error. Result: 0.90x, pinned here.
+    use piccolo::{SimConfig, TilingPolicy};
+    use piccolo_algo::ConnectedComponents;
+
+    let graph = Dataset::Sinaweibo.build(13, 7);
+    let total_for = |cfg: SimConfig| {
+        let sim = Simulation::with_config(cfg.with_max_iterations(5));
+        sim.run(&graph, &PageRank::default()).run.accel_cycles
+            + sim
+                .run(&graph, &ConnectedComponents::new())
+                .run
+                .accel_cycles
+    };
+    let base = total_for(SimConfig::for_system(SystemKind::GraphDynsCache, 13));
+    let pic_best = total_for(SimConfig::for_system(SystemKind::Piccolo, 13));
+    let ratio = base as f64 / pic_best as f64;
+    assert!(
+        ratio > 0.89,
+        "PR+CC Piccolo-vs-cache-baseline regressed to {ratio:.3}x (was 0.90x)"
+    );
+
+    // `Best` must never lose to any fixed candidate factor on this workload — that is
+    // the definition of the search (the old fixed factor 2 violated it by ~3%).
+    for factor in piccolo_accel::BEST_TILING_FACTORS {
+        let fixed = total_for(
+            SimConfig::for_system(SystemKind::Piccolo, 13)
+                .with_tiling(TilingPolicy::Scaled(factor)),
+        );
+        assert!(
+            pic_best <= fixed,
+            "Best tiling ({pic_best} cycles) lost to fixed factor {factor} ({fixed} cycles)"
+        );
+    }
+}
+
+#[test]
 fn all_systems_agree_on_functional_results() {
     // The simulator executes the algorithm functionally, so its iteration count matches
     // the plain functional driver regardless of the simulated system.
