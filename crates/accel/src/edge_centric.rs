@@ -80,12 +80,20 @@ impl<P: VertexProgram> Traversal<P> for EdgeCentric {
 }
 
 /// Runs `program` with edge-centric traversal on the given system configuration.
+///
+/// [`TilingPolicy::Best`](crate::config::TilingPolicy::Best) on a fine-grained system
+/// performs the same exhaustive search as the vertex-centric engine (via
+/// [`pipeline::run_with_best_search`]): every [`pipeline::BEST_TILING_FACTORS`]
+/// candidate sizes the grid blocks, and the fastest result wins. Edge-centric systems
+/// are tiling-sensitive by construction — the block width sets both the sequential
+/// re-read volume and the destination-tile locality — so a fixed family-default factor
+/// was mis-calibrated for part of the Fig. 19a rows.
 pub fn simulate_edge_centric<P: VertexProgram>(
     graph: &Csr,
     program: &P,
     cfg: &SimConfig,
 ) -> RunResult {
-    pipeline::run(graph, program, cfg, &EdgeCentric::new(graph, cfg))
+    pipeline::run_with_best_search(graph, program, cfg, EdgeCentric::new)
 }
 
 #[cfg(test)]
@@ -109,6 +117,38 @@ mod tests {
             pic.mem_stats.offchip_bytes < base.mem_stats.offchip_bytes,
             "Piccolo must reduce off-chip traffic in the edge-centric setting too"
         );
+    }
+
+    #[test]
+    fn best_tiling_really_searches_on_the_edge_centric_path() {
+        use crate::config::TilingPolicy;
+        use crate::pipeline::BEST_TILING_FACTORS;
+        let g = generate::kronecker(12, 6, 4);
+        let cfg = SimConfig::for_system(SystemKind::Piccolo, 12).with_max_iterations(2);
+        assert_eq!(cfg.tiling, TilingPolicy::Best);
+        let best = simulate_edge_centric(&g, &PageRank::default(), &cfg);
+        let fastest_fixed = BEST_TILING_FACTORS
+            .into_iter()
+            .map(|f| {
+                let fixed = cfg.with_tiling(TilingPolicy::Scaled(f));
+                simulate_edge_centric(&g, &PageRank::default(), &fixed).accel_cycles
+            })
+            .min()
+            .unwrap();
+        assert_eq!(
+            best.accel_cycles, fastest_fixed,
+            "Best must match the fastest candidate factor, not a fixed family default"
+        );
+
+        // Conventional systems skip the search and keep tiles that just fit.
+        let conv = SimConfig::for_system(SystemKind::GraphDynsCache, 12).with_max_iterations(2);
+        let conv_best = simulate_edge_centric(&g, &PageRank::default(), &conv);
+        let conv_fit = simulate_edge_centric(
+            &g,
+            &PageRank::default(),
+            &conv.with_tiling(TilingPolicy::Scaled(1)),
+        );
+        assert_eq!(conv_best.accel_cycles, conv_fit.accel_cycles);
     }
 
     #[test]

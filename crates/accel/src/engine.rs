@@ -95,42 +95,12 @@ impl<P: VertexProgram> Traversal<P> for VertexCentric {
 /// statistics.
 ///
 /// [`TilingPolicy::Best`](crate::config::TilingPolicy::Best) on a fine-grained system
-/// (Piccolo/NMP) performs the exhaustive search its documentation promises: the run is
-/// simulated once per [`pipeline::BEST_TILING_FACTORS`] candidate and the fastest result
-/// wins (smallest factor on a tie). Which factor wins depends on the workload — dense
-/// frontiers (PR/CC) and high-degree graphs favor tiles that just fit, sparse frontiers
-/// and low-degree graphs favor 2x tiles — so a fixed factor was measurably
-/// mis-calibrated for part of the figure suite. Conventional systems always prefer
-/// factor 1 and skip the search.
+/// (Piccolo/NMP) performs the exhaustive search its documentation promises, via the
+/// shared [`pipeline::run_with_best_search`]: the run is simulated once per
+/// [`pipeline::BEST_TILING_FACTORS`] candidate and the fastest result wins (smallest
+/// factor on a tie). Conventional systems always prefer factor 1 and skip the search.
 pub fn simulate<P: VertexProgram>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult {
-    if cfg.tiling == crate::config::TilingPolicy::Best
-        && matches!(
-            cfg.system,
-            crate::config::SystemKind::Nmp | crate::config::SystemKind::Piccolo
-        )
-    {
-        return pipeline::BEST_TILING_FACTORS
-            .into_iter()
-            .map(|f| {
-                let candidate = cfg.with_tiling(crate::config::TilingPolicy::Scaled(f));
-                pipeline::run(
-                    graph,
-                    program,
-                    &candidate,
-                    &VertexCentric::new(graph, &candidate),
-                )
-            })
-            .reduce(|best, cand| {
-                // Strict `<` keeps the earlier (smaller) factor on a tie.
-                if cand.accel_cycles < best.accel_cycles {
-                    cand
-                } else {
-                    best
-                }
-            })
-            .expect("BEST_TILING_FACTORS is non-empty");
-    }
-    pipeline::run(graph, program, cfg, &VertexCentric::new(graph, cfg))
+    pipeline::run_with_best_search(graph, program, cfg, VertexCentric::new)
 }
 
 #[cfg(test)]

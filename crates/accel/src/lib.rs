@@ -37,4 +37,6 @@ pub use edge_centric::{simulate_edge_centric, EdgeCentric};
 pub use engine::{simulate, VertexCentric};
 pub use layout::GraphLayout;
 pub use path::MemoryPath;
-pub use pipeline::{resolve_tiling, RunResult, ScatterContext, Traversal, BEST_TILING_FACTORS};
+pub use pipeline::{
+    resolve_tiling, run_with_best_search, RunResult, ScatterContext, Traversal, BEST_TILING_FACTORS,
+};

@@ -97,10 +97,13 @@ pub const BEST_TILING_FACTORS: [u32; 2] = [1, 2];
 /// Chooses the tiling for a run.
 ///
 /// `TilingPolicy::Best` resolves to the *default* factor of the system family here
-/// (factor 2 for fine-grained systems, 1 otherwise); the vertex-centric engine
-/// additionally implements Best's documented "exhaustive search" semantics by running
-/// every [`BEST_TILING_FACTORS`] candidate and keeping the fastest — see
-/// [`engine::simulate`](crate::engine::simulate).
+/// (factor 2 for fine-grained systems, 1 otherwise). This arm only matters for callers
+/// that construct a [`Traversal`] directly from a `Best` config: both engine entry
+/// points — [`engine::simulate`](crate::engine::simulate) and
+/// [`edge_centric::simulate_edge_centric`](crate::edge_centric::simulate_edge_centric)
+/// — implement Best's documented "exhaustive search" semantics through
+/// [`run_with_best_search`], which replaces `Best` with each [`BEST_TILING_FACTORS`]
+/// candidate before any tiling is resolved.
 pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
     match cfg.tiling {
         TilingPolicy::None => Tiling::single_tile(num_vertices),
@@ -123,6 +126,52 @@ pub fn resolve_tiling(cfg: &SimConfig, num_vertices: u32) -> Tiling {
             )
         }
     }
+}
+
+/// Runs `program` under `cfg`, giving [`TilingPolicy::Best`] its documented exhaustive
+/// search on fine-grained systems (Piccolo/NMP): the run is simulated once per
+/// [`BEST_TILING_FACTORS`] candidate — `make` rebuilds the traversal for each resolved
+/// candidate config — and the fastest result wins (the smaller factor on a tie). Which
+/// factor wins depends on the workload: dense frontiers (PR/CC) and high-degree graphs
+/// favor tiles that just fit, sparse frontiers and low-degree graphs favor 2x tiles —
+/// so a fixed factor is measurably mis-calibrated for part of the figure suite, in the
+/// edge-centric setting just as in the vertex-centric one (grid blocks are sized by the
+/// same capacity rule). Conventional systems always prefer factor 1 — over-sized tiles
+/// thrash 64 B lines — and skip the search.
+///
+/// Both engines funnel through here, so "Best" means the same thing on every traversal
+/// order.
+pub fn run_with_best_search<P, T, M>(
+    graph: &Csr,
+    program: &P,
+    cfg: &SimConfig,
+    make: M,
+) -> RunResult
+where
+    P: VertexProgram,
+    T: Traversal<P>,
+    M: Fn(&Csr, &SimConfig) -> T,
+{
+    if cfg.tiling == TilingPolicy::Best
+        && matches!(cfg.system, SystemKind::Nmp | SystemKind::Piccolo)
+    {
+        return BEST_TILING_FACTORS
+            .into_iter()
+            .map(|f| {
+                let candidate = cfg.with_tiling(TilingPolicy::Scaled(f));
+                run(graph, program, &candidate, &make(graph, &candidate))
+            })
+            .reduce(|best, cand| {
+                // Strict `<` keeps the earlier (smaller) factor on a tie.
+                if cand.accel_cycles < best.accel_cycles {
+                    cand
+                } else {
+                    best
+                }
+            })
+            .expect("BEST_TILING_FACTORS is non-empty");
+    }
+    run(graph, program, cfg, &make(graph, cfg))
 }
 
 /// A traversal order: how one iteration's scatter phase walks the graph.

@@ -137,15 +137,21 @@ fn main() {
     let mut benched: Vec<FigureBench> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
+    let specs: Vec<ExperimentSpec> = bench_specs()
+        .into_iter()
+        .filter(|spec| filter.is_empty() || filter.iter().any(|p| spec.name().contains(p.as_str())))
+        .collect();
+
+    // One campaign over every selected figure doubles as warmup and row capture for the
+    // speedup metrics: each distinct graph is built exactly once across all figures.
+    let campaign = runner.run_campaign(&specs);
+
     println!("{:<28} {:>12} {:>12}", "benchmark", "min", "mean");
-    for spec in bench_specs() {
-        if !filter.is_empty() && !filter.iter().any(|p| spec.name().contains(p.as_str())) {
-            continue;
-        }
-        // Warmup run doubles as the row capture for the speedup metrics.
-        let points = runner.run(&spec);
+    for (spec, figure) in specs.iter().zip(&campaign.figures) {
+        // Timed samples still run each figure standalone (a campaign of one), so
+        // per-figure wall-clock stays comparable across history.
         let (min, mean) = time_runs(samples, || {
-            runner.run(&spec);
+            runner.run(spec);
         });
         println!(
             "{:<28} {:>10.3}ms {:>10.3}ms",
@@ -153,15 +159,20 @@ fn main() {
             min.as_secs_f64() * 1e3,
             mean.as_secs_f64() * 1e3
         );
-        metrics.extend(speedup_metrics(spec.name(), &points));
+        metrics.extend(speedup_metrics(spec.name(), &figure.points));
         benched.push(FigureBench {
             name: spec.name().to_string(),
             title: spec.title().to_string(),
-            rows: points.len(),
+            rows: figure.points.len(),
             min_ms: min.as_secs_f64() * 1e3,
             mean_ms: mean.as_secs_f64() * 1e3,
         });
     }
+    let stats = campaign.stats;
+    println!(
+        "campaign capture: {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling",
+        stats.graphs_built, stats.builds_saved
+    );
 
     if !metrics.is_empty() {
         println!();
@@ -172,7 +183,7 @@ fn main() {
     }
 
     if let Some(path) = &json_path {
-        let doc = bench_json(samples, runner.jobs(), &benched, &metrics);
+        let doc = bench_json(samples, runner.jobs(), &benched, &metrics, &stats);
         if let Err(e) = std::fs::write(path, doc) {
             fail(&format!("cannot write {path}: {e}"));
         }

@@ -4,13 +4,16 @@
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default).
 //!
-//! Every figure is a grid of independent simulation runs; `--jobs N` shards them across
-//! `N` worker threads (default: all cores, `--jobs 1` forces the sequential reference
-//! path). Output — both the printed rows and the optional `results.json` — is
-//! bit-identical for every worker count; CI diffs the two to enforce it.
+//! All requested figures run as **one campaign** (`piccolo::campaign`): their grids are
+//! flattened into a single global work queue, `--jobs N` shards it across `N` worker
+//! threads (default: all cores, `--jobs 1` forces the sequential reference path), and
+//! each distinct graph is built exactly once across the whole run. Output — both the
+//! printed rows and the optional `results.json` — is bit-identical for every worker
+//! count; CI diffs the two to enforce it. Scheduling stats (graphs built vs saved,
+//! wall-clock) go to stderr as well, so they stay visible when stdout is redirected.
 
-use piccolo::experiments::{Scale, FIGURES};
-use piccolo::report::{results_json, FigureRows};
+use piccolo::experiments::{default_specs, Scale, FIGURES};
+use piccolo::report::results_json;
 use piccolo::sweep::SweepRunner;
 
 fn fail(msg: &str) -> ! {
@@ -60,27 +63,24 @@ fn main() {
 
     let runner = SweepRunner::new(jobs);
     let started = std::time::Instant::now();
-    let mut reproduced: Vec<FigureRows> = Vec::new();
-    for f in &figures {
-        let Some(spec) = piccolo::experiments::default_spec(f, scale) else {
-            eprintln!("unknown figure '{f}'");
-            continue;
-        };
-        let points = runner.run(&spec);
-        println!("== {} ==", spec.title());
-        for p in &points {
+    let (specs, unknown) = default_specs(&figures, scale);
+    for f in &unknown {
+        eprintln!("unknown figure '{f}'");
+    }
+
+    // One campaign over every requested figure: one global worker pool, each distinct
+    // graph built exactly once across the whole run.
+    let campaign = runner.run_campaign(&specs);
+    for figure in &campaign.figures {
+        println!("== {} ==", figure.title);
+        for p in &figure.points {
             println!("{p}");
         }
         println!();
-        reproduced.push(FigureRows {
-            name: spec.name().to_string(),
-            title: spec.title().to_string(),
-            points,
-        });
     }
 
     if let Some(path) = &out_path {
-        let doc = results_json(scale, &reproduced);
+        let doc = results_json(scale, &campaign.figures);
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("repro: cannot write {path}: {e}");
             std::process::exit(1);
@@ -90,14 +90,25 @@ fn main() {
 
     println!("== Summary ==");
     println!("{:<40} {:>12}", "figure", "rows");
-    for f in &reproduced {
+    for f in &campaign.figures {
         println!("{:<40} {:>12}", f.title, f.points.len());
     }
-    println!(
-        "{} figure(s)/table(s) reproduced at scale shift {} with {} worker(s) in {:.1} s",
-        reproduced.len(),
-        scale.scale_shift,
+    let stats = campaign.stats;
+    let stats_line = format!(
+        "campaign: {} figure(s), {} sim run(s), {} measure unit(s); \
+         {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling; \
+         {} worker(s), scale shift {}, {:.1} s",
+        stats.figures,
+        stats.sim_runs,
+        stats.measure_units,
+        stats.graphs_built,
+        stats.builds_saved,
         runner.jobs(),
+        scale.scale_shift,
         started.elapsed().as_secs_f64()
     );
+    println!("{stats_line}");
+    // CI's parity job redirects stdout to /dev/null; keep the dedup stats visible in
+    // its logs so regressions in graph-build sharing are easy to spot.
+    eprintln!("{stats_line}");
 }

@@ -8,6 +8,7 @@
 //! metric name to the minimum acceptable value. Metrics are **model outputs** (cycle
 //! ratios), not wall-clock, so they are deterministic and safe to gate CI on.
 
+use piccolo::campaign::CampaignStats;
 use piccolo::experiments::{geomean, Point};
 use piccolo::json::Json;
 
@@ -62,10 +63,18 @@ pub fn speedup_metrics(figure: &str, points: &[Point]) -> Vec<(String, f64)> {
         }),
         // Synthetic graphs.
         "fig18" => gm_of(points, "fig18/gm_piccolo", |l| l.ends_with("/Piccolo")),
-        // Vertex-centric Piccolo vs the vertex-centric conventional baseline.
-        "fig19a" => gm_of(points, "fig19a/gm_vc_piccolo", |l| {
-            l.ends_with("/VC/Piccolo")
-        }),
+        // Piccolo vs the vertex-centric conventional baseline, for both traversal
+        // orders. The EC rows gate the edge-centric Best-tiling search: a regression to
+        // a fixed family-default factor shows up here.
+        "fig19a" => {
+            let mut m = gm_of(points, "fig19a/gm_vc_piccolo", |l| {
+                l.ends_with("/VC/Piccolo")
+            });
+            m.extend(gm_of(points, "fig19a/gm_ec_piccolo", |l| {
+                l.ends_with("/EC/Piccolo")
+            }));
+            m
+        }
         // OLAP column scans.
         "fig19b" => gm_of(points, "fig19b/gm_olap", |_| true),
         // Enhanced-FIM sweep: plain Piccolo rows only (not "Piccolo enhanced").
@@ -78,17 +87,29 @@ pub fn speedup_metrics(figure: &str, points: &[Point]) -> Vec<(String, f64)> {
 ///
 /// Unlike `results.json` this document *does* carry wall-clock numbers (`min_ms`,
 /// `mean_ms`, `jobs`) — it tracks the perf trajectory of the harness itself and is
-/// uploaded as a CI artifact, never byte-compared.
+/// uploaded as a CI artifact, never byte-compared. `campaign` records the scheduling
+/// stats of the row-capture campaign (graphs built once vs builds saved), so dedup
+/// regressions are visible in the artifact history.
 pub fn bench_json(
     samples: u32,
     jobs: usize,
     figures: &[FigureBench],
     metrics: &[(String, f64)],
+    campaign: &CampaignStats,
 ) -> String {
     let doc = Json::obj([
         ("schema", Json::str("piccolo-bench/v1")),
         ("samples", Json::Num(samples as f64)),
         ("jobs", Json::Num(jobs as f64)),
+        (
+            "campaign",
+            Json::obj([
+                ("figures", Json::Num(campaign.figures as f64)),
+                ("sim_runs", Json::Num(campaign.sim_runs as f64)),
+                ("graphs_built", Json::Num(campaign.graphs_built as f64)),
+                ("builds_saved", Json::Num(campaign.builds_saved as f64)),
+            ]),
+        ),
         (
             "figures",
             Json::Arr(
@@ -184,6 +205,23 @@ mod tests {
     }
 
     #[test]
+    fn fig19a_tracks_both_traversal_orders() {
+        let points = [
+            pt("PR/TW/VC/Piccolo", 2.0),
+            pt("PR/TW/EC/Piccolo", 1.5),
+            pt("PR/TW/EC/Conventional", 0.5),
+        ];
+        let m = speedup_metrics("fig19a", &points);
+        assert_eq!(
+            m,
+            vec![
+                ("fig19a/gm_vc_piccolo".to_string(), 2.0),
+                ("fig19a/gm_ec_piccolo".to_string(), 1.5),
+            ]
+        );
+    }
+
+    #[test]
     fn floors_pass_fail_and_catch_missing_metrics() {
         let baselines = parse(r#"{"fig10/gm_piccolo": 2.0, "fig09/gm_fim_speedup": 3.0}"#).unwrap();
         let ok = check_floors(
@@ -213,11 +251,24 @@ mod tests {
                 mean_ms: 1.5,
             }],
             &[("fig10/gm_piccolo".to_string(), 2.5)],
+            &CampaignStats {
+                figures: 1,
+                sim_runs: 11,
+                measure_units: 0,
+                graphs_built: 1,
+                builds_saved: 0,
+            },
         );
         let v = parse(doc.trim()).unwrap();
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
             Some("piccolo-bench/v1")
+        );
+        assert_eq!(
+            v.get("campaign")
+                .and_then(|c| c.get("graphs_built"))
+                .and_then(Json::as_f64),
+            Some(1.0)
         );
         assert_eq!(
             v.get("metrics")

@@ -1,0 +1,431 @@
+//! Cross-figure campaign scheduler: one global work queue for many figures, building
+//! each distinct graph exactly once across the whole campaign.
+//!
+//! The paper's evaluation sweeps many figure grids over the same handful of graphs. A
+//! per-figure runner rebuilds each `(dataset, scale_shift, seed)` graph once *per
+//! figure* and parallelizes only *within* a figure, which leaves a long sequential tail
+//! on the all-figure run. This module flattens every requested figure's
+//! [`ExperimentSpec`] grid into **one** queue executed by a single
+//! [`run_indexed`] pool:
+//!
+//! 1. **Graph builds are schedulable units.** The queue starts with one build task per
+//!    distinct [`GraphKey`] across the whole campaign — most expensive first, so the
+//!    twitter-scale CSR starts before the cheap graphs — followed by every figure's
+//!    grid units, scheduled measure-units-first and then by ascending estimated cost of
+//!    the graph they need (results are un-permuted into `(figure, unit)` slots
+//!    afterwards, so scheduling order never shows in the output). Workers claim indices
+//!    in increasing order, so every build is claimed before any grid unit, and the
+//!    units claimed first are the ones whose graphs finish earliest — while one worker
+//!    builds the largest CSR, the others build the remaining graphs and then drain
+//!    units of the already-built ones instead of blocking behind the big build.
+//! 2. **A shared graph store** hands finished graphs to simulation units. A unit whose
+//!    graph is still being built blocks on that slot's condvar; the builder is
+//!    guaranteed to be a live worker (builds occupy the lowest queue indices), so the
+//!    wait always terminates. A panicking build marks its slot failed and wakes all
+//!    waiters, which panic in turn; [`run_indexed`] then resumes the **lowest-indexed**
+//!    payload — the build's original panic — on the caller.
+//! 3. **Results land by `(figure, unit index)` slot**, and derived rows (speedups,
+//!    geomeans) are evaluated per figure from its completed grid, so campaign output is
+//!    byte-identical for any worker count — the property CI enforces on
+//!    `repro --jobs 1` vs `--jobs $(nproc)`.
+//!
+//! [`SweepRunner::run`] is a campaign of one figure, so every figure entry point in
+//! [`crate::experiments`] routes through this scheduler.
+
+use crate::report::FigureRows;
+use crate::sweep::{run_indexed, ExperimentSpec, GraphKey, SweepRunner, Unit, UnitResult};
+use piccolo_graph::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Deterministic estimate of a graph build's cost — the paper's edge count shrunk by
+/// the run's scale shift. Orders the schedule only; it never affects any result.
+fn build_cost((dataset, scale_shift, _seed): GraphKey) -> u64 {
+    dataset
+        .spec()
+        .paper_edges
+        .checked_shr(scale_shift)
+        .unwrap_or(0)
+}
+
+/// Scheduling statistics of one executed campaign (all deterministic counts — safe to
+/// log anywhere without breaking output parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Figures executed.
+    pub figures: usize,
+    /// Full simulation runs executed (each references one shared graph).
+    pub sim_runs: usize,
+    /// Self-contained measure units executed.
+    pub measure_units: usize,
+    /// Distinct graphs actually built (exactly once each).
+    pub graphs_built: usize,
+    /// Builds avoided relative to per-figure scheduling (the sum over figures of their
+    /// distinct keys, minus the campaign-wide distinct keys). Zero for a single figure.
+    pub builds_saved: usize,
+}
+
+/// Output of [`SweepRunner::run_campaign`]: every figure's rows plus scheduling stats.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One entry per requested figure, in request order.
+    pub figures: Vec<FigureRows>,
+    /// Scheduling statistics (graphs built vs saved, unit counts).
+    pub stats: CampaignStats,
+}
+
+/// State of one graph slot in the shared store.
+enum SlotState {
+    /// The build task has not finished yet.
+    Pending,
+    /// The graph is available to every simulation unit that needs it.
+    Ready(Arc<Csr>),
+    /// The build task panicked; waiters must panic too (the build's own payload is the
+    /// one the pool re-raises).
+    Failed,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Shared graph store: one slot per distinct [`GraphKey`] of the campaign.
+struct GraphStore {
+    slots: HashMap<GraphKey, Slot>,
+}
+
+impl GraphStore {
+    fn new(keys: &[GraphKey]) -> Self {
+        Self {
+            slots: keys
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        Slot {
+                            state: Mutex::new(SlotState::Pending),
+                            ready: Condvar::new(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Publishes a finished graph and wakes every waiting simulation unit.
+    fn fulfill(&self, key: GraphKey, graph: Arc<Csr>) {
+        let slot = &self.slots[&key];
+        *slot.state.lock().unwrap() = SlotState::Ready(graph);
+        slot.ready.notify_all();
+    }
+
+    /// Marks a build as failed and wakes waiters so they can propagate the failure.
+    fn fail(&self, key: GraphKey) {
+        let slot = &self.slots[&key];
+        let mut state = slot.state.lock().unwrap();
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Failed;
+        }
+        drop(state);
+        slot.ready.notify_all();
+    }
+
+    /// Blocks until `key`'s graph is built and returns it. Panics if the build failed.
+    fn wait(&self, key: GraphKey) -> Arc<Csr> {
+        let slot = &self.slots[&key];
+        let mut state = slot.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Ready(graph) => return Arc::clone(graph),
+                SlotState::Failed => panic!("graph build for {key:?} panicked"),
+                SlotState::Pending => state = slot.ready.wait(state).unwrap(),
+            }
+        }
+    }
+}
+
+/// Marks the slot [`SlotState::Failed`] unless disarmed — keeps a panicking build from
+/// leaving waiters blocked forever.
+struct FailGuard<'a> {
+    store: &'a GraphStore,
+    key: GraphKey,
+    armed: bool,
+}
+
+impl Drop for FailGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.fail(self.key);
+        }
+    }
+}
+
+/// Output of one global queue slot.
+enum TaskOut {
+    /// A graph-build unit completed (its product lives in the store).
+    Built,
+    /// A grid unit completed.
+    Unit(UnitResult),
+}
+
+impl SweepRunner {
+    /// Executes `specs` as one campaign: a single global [`run_indexed`] pool over all
+    /// graph builds and grid units, building each distinct [`GraphKey`] exactly once
+    /// campaign-wide. Returns each figure's rows (derived points evaluated per figure)
+    /// plus scheduling stats. Output is byte-identical for every worker count.
+    pub fn run_campaign(&self, specs: &[ExperimentSpec]) -> CampaignRun {
+        run_campaign_with(self.jobs(), specs, |(dataset, shift, seed)| {
+            dataset.build(shift, seed)
+        })
+    }
+}
+
+/// Campaign executor parameterized over the graph-build function, so tests can count
+/// builds per key or inject failing builds without touching the scheduler itself.
+pub(crate) fn run_campaign_with(
+    jobs: usize,
+    specs: &[ExperimentSpec],
+    build: impl Fn(GraphKey) -> Csr + Sync,
+) -> CampaignRun {
+    // Distinct graph keys in first-appearance order (deterministic), plus the number of
+    // builds a per-figure scheduler would have performed, for the stats.
+    let mut keys: Vec<GraphKey> = Vec::new();
+    let mut per_figure_builds = 0usize;
+    for spec in specs {
+        let mut figure_keys: Vec<GraphKey> = Vec::new();
+        for unit in spec.units() {
+            if let Unit::Sim(rc) = unit {
+                let key = rc.graph_key();
+                if !figure_keys.contains(&key) {
+                    figure_keys.push(key);
+                }
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        per_figure_builds += figure_keys.len();
+    }
+
+    // The most expensive builds go first so they start (are claimed) earliest and
+    // overlap the most of the remaining campaign. Stable sort: ties keep
+    // first-appearance order, so the schedule stays deterministic.
+    let n_builds = keys.len();
+    keys.sort_by_key(|&key| std::cmp::Reverse(build_cost(key)));
+
+    // Flatten every figure's grid behind the build tasks: global slot `n_builds + j`
+    // executes figure `unit_index[schedule[j]].0`, unit `unit_index[schedule[j]].1`.
+    // The schedule claims measure units (always runnable) and cheap-graph sims first,
+    // so workers drain units whose graphs finish earliest instead of blocking behind
+    // the largest build; results are un-permuted below, so scheduling order never
+    // shows in the output.
+    let mut unit_index: Vec<(usize, usize)> = Vec::new();
+    for (figure, spec) in specs.iter().enumerate() {
+        unit_index.extend((0..spec.units().len()).map(|u| (figure, u)));
+    }
+    let mut schedule: Vec<usize> = (0..unit_index.len()).collect();
+    schedule.sort_by_key(|&j| {
+        let (figure, unit) = unit_index[j];
+        match &specs[figure].units()[unit] {
+            Unit::Measure(_) => 0,
+            Unit::Sim(rc) => 1 + build_cost(rc.graph_key()),
+        }
+    });
+
+    let store = GraphStore::new(&keys);
+    let outputs = run_indexed(jobs, n_builds + unit_index.len(), |i| {
+        if i < n_builds {
+            let key = keys[i];
+            let mut guard = FailGuard {
+                store: &store,
+                key,
+                armed: true,
+            };
+            let graph = build(key);
+            store.fulfill(key, Arc::new(graph));
+            guard.armed = false;
+            TaskOut::Built
+        } else {
+            let (figure, unit) = unit_index[schedule[i - n_builds]];
+            TaskOut::Unit(match &specs[figure].units()[unit] {
+                Unit::Sim(rc) => {
+                    let graph = store.wait(rc.graph_key());
+                    UnitResult::Run(Box::new(rc.execute(&graph)))
+                }
+                Unit::Measure(f) => UnitResult::Points(f()),
+            })
+        }
+    });
+
+    // Un-permute the scheduled outputs back into figure-major `(figure, unit)` order
+    // and evaluate each figure's derived rows from its completed grid.
+    let mut slots: Vec<Option<UnitResult>> = unit_index.iter().map(|_| None).collect();
+    for (j, out) in outputs.into_iter().skip(n_builds).enumerate() {
+        match out {
+            TaskOut::Unit(result) => slots[schedule[j]] = Some(result),
+            TaskOut::Built => unreachable!("build outputs precede unit outputs"),
+        }
+    }
+    let unit_results: Vec<UnitResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("schedule is a permutation of the unit indices"))
+        .collect();
+    let mut figures = Vec::with_capacity(specs.len());
+    let mut offset = 0usize;
+    let mut sim_runs = 0usize;
+    let mut measure_units = 0usize;
+    for spec in specs {
+        let grid = &unit_results[offset..offset + spec.units().len()];
+        offset += spec.units().len();
+        sim_runs += spec.num_runs();
+        measure_units += spec.num_units() - spec.num_runs();
+        figures.push(FigureRows {
+            name: spec.name().to_string(),
+            title: spec.title().to_string(),
+            points: spec.evaluate(grid),
+        });
+    }
+
+    CampaignRun {
+        figures,
+        stats: CampaignStats {
+            figures: specs.len(),
+            sim_runs,
+            measure_units,
+            // One build unit per distinct key by construction; a panicking build
+            // aborts the whole campaign, so a returned run always built all of them.
+            graphs_built: n_builds,
+            builds_saved: per_figure_builds - n_builds,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{self, Scale};
+    use crate::report::results_json;
+    use piccolo_algo::Algorithm;
+    use piccolo_graph::Dataset;
+
+    fn tiny() -> Scale {
+        Scale {
+            scale_shift: 15,
+            seed: 3,
+            max_iterations: 2,
+        }
+    }
+
+    /// A small multi-figure campaign whose figures share one graph key.
+    fn shared_graph_specs() -> Vec<ExperimentSpec> {
+        let ds = [Dataset::Sinaweibo];
+        let algs = [Algorithm::Bfs];
+        vec![
+            experiments::fig10_spec(tiny(), &ds, &algs),
+            experiments::fig12_spec(tiny(), &ds, &algs),
+            experiments::fig19a_spec(tiny(), &ds),
+        ]
+    }
+
+    #[test]
+    fn campaign_results_json_is_byte_identical_across_worker_counts() {
+        let specs = shared_graph_specs();
+        let reference = SweepRunner::sequential().run_campaign(&specs);
+        let doc = results_json(tiny(), &reference.figures);
+        for jobs in [2, 8] {
+            let parallel = SweepRunner::new(jobs).run_campaign(&specs);
+            assert_eq!(
+                results_json(tiny(), &parallel.figures),
+                doc,
+                "jobs={jobs} must be byte-identical to jobs=1"
+            );
+            assert_eq!(
+                parallel.stats, reference.stats,
+                "stats are deterministic too"
+            );
+        }
+    }
+
+    #[test]
+    fn each_distinct_graph_is_built_exactly_once_campaign_wide() {
+        let specs = shared_graph_specs();
+        for jobs in [1, 4] {
+            let counts: Mutex<HashMap<GraphKey, usize>> = Mutex::new(HashMap::new());
+            let run = run_campaign_with(jobs, &specs, |(dataset, shift, seed)| {
+                *counts
+                    .lock()
+                    .unwrap()
+                    .entry((dataset, shift, seed))
+                    .or_insert(0) += 1;
+                dataset.build(shift, seed)
+            });
+            let counts = counts.into_inner().unwrap();
+            // All three figures use the same (Sinaweibo, 15, 3) graph.
+            assert_eq!(
+                counts.len(),
+                1,
+                "jobs={jobs}: one distinct key campaign-wide"
+            );
+            assert!(
+                counts.values().all(|&c| c == 1),
+                "jobs={jobs}: every distinct graph_key is built exactly once, got {counts:?}"
+            );
+            assert_eq!(run.stats.graphs_built, 1);
+            // Per-figure scheduling would have built the graph once per figure.
+            assert_eq!(run.stats.builds_saved, specs.len() - 1);
+            assert_eq!(run.stats.figures, specs.len());
+            assert!(run.stats.sim_runs > run.stats.graphs_built);
+        }
+    }
+
+    #[test]
+    fn figure_rows_do_not_depend_on_campaign_composition() {
+        // A figure's rows must be identical whether it runs alone or shares a campaign
+        // (and its graphs) with other figures — otherwise `repro fig10` and
+        // `repro all` would disagree.
+        let specs = shared_graph_specs();
+        let alone = SweepRunner::sequential().run_campaign(&specs[..1]);
+        assert_eq!(alone.stats.builds_saved, 0);
+        let together = SweepRunner::new(4).run_campaign(&specs);
+        assert_eq!(alone.figures[0].points, together.figures[0].points);
+        // And the rows satisfy a figure-level invariant computed by independent code:
+        // fig10's baseline-over-baseline geomean row is exactly 1.
+        let gm_base = alone.figures[0]
+            .points
+            .iter()
+            .find(|p| p.label == "GM/GraphDyns (Cache)")
+            .expect("fig10 has a baseline GM row");
+        assert!((gm_base.value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_build_panic_propagates_with_its_original_payload() {
+        let specs = shared_graph_specs();
+        for jobs in [1, 4] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_campaign_with(jobs, &specs, |key: GraphKey| -> Csr {
+                    panic!("graph build exploded for {key:?}")
+                })
+            }));
+            let err = result.expect_err("build panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| err.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(
+                msg.contains("graph build exploded"),
+                "jobs={jobs}: the build's own payload must win, got '{msg}'"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let run = SweepRunner::new(4).run_campaign(&[]);
+        assert!(run.figures.is_empty());
+        assert_eq!(run.stats.graphs_built, 0);
+        assert_eq!(run.stats.builds_saved, 0);
+    }
+}

@@ -2,10 +2,13 @@
 //!
 //! Each figure is declared as an [`ExperimentSpec`] (see [`crate::sweep`]): a grid of
 //! independent simulation runs plus the derived output rows (speedups, ratios, geometric
-//! means) computed from the completed grid. A [`SweepRunner`] executes the grid across a
-//! worker pool with bit-identical output for any worker count; the `piccolo-bench` crate
-//! exposes the specs through the `repro` binary (`--jobs N`) and the hand-rolled bench
-//! harness, both of which also emit the machine-readable `results.json` / `BENCH.json`.
+//! means) computed from the completed grid. Every entry point routes through the
+//! cross-figure campaign scheduler ([`crate::campaign`]): a [`SweepRunner`] executes one
+//! or many specs over a single worker pool with bit-identical output for any worker
+//! count, building each distinct graph exactly once campaign-wide. The `piccolo-bench`
+//! crate exposes the specs through the `repro` binary (`--jobs N`, global across
+//! figures) and the hand-rolled bench harness, both of which also emit the
+//! machine-readable `results.json` / `BENCH.json`.
 //!
 //! For callers that just want the rows, every figure keeps a plain function
 //! (`fig10(...)`, `fig14(...)`, ...) that builds its spec and runs it sequentially.
@@ -139,6 +142,22 @@ pub fn default_spec(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "area" => area_spec(),
         _ => return None,
     })
+}
+
+/// Resolves figure names to their default specs, preserving request order; unknown
+/// names are returned separately so callers can report them. The resulting list is what
+/// the `repro` binary hands to [`SweepRunner::run_campaign`](crate::campaign) as one
+/// campaign.
+pub fn default_specs(names: &[String], scale: Scale) -> (Vec<ExperimentSpec>, Vec<String>) {
+    let mut specs = Vec::new();
+    let mut unknown = Vec::new();
+    for name in names {
+        match default_spec(name, scale) {
+            Some(spec) => specs.push(spec),
+            None => unknown.push(name.clone()),
+        }
+    }
+    (specs, unknown)
 }
 
 /// Fig. 3 — motivational experiment: useful vs unuseful off-chip traffic and RD/WR
@@ -814,6 +833,20 @@ mod tests {
             assert!(!spec.title().is_empty());
         }
         assert!(default_spec("fig99", tiny()).is_none());
+    }
+
+    #[test]
+    fn default_specs_resolves_known_names_and_reports_unknown_ones() {
+        let names: Vec<String> = ["fig10", "fig99", "table2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (specs, unknown) = default_specs(&names, tiny());
+        assert_eq!(
+            specs.iter().map(ExperimentSpec::name).collect::<Vec<_>>(),
+            ["fig10", "table2"]
+        );
+        assert_eq!(unknown, ["fig99"]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   table and figure of the paper,
 //! * [`sweep`] — the parallel design-space sweep engine (worker pool, deterministic
 //!   result ordering) behind the `repro --jobs N` binary and the bench harness,
+//! * [`campaign`] — the cross-figure campaign scheduler: one global work queue over all
+//!   requested figures, building each distinct graph exactly once campaign-wide,
 //! * [`json`] — the hand-rolled JSON writer/parser of the machine-readable results
 //!   pipeline (`results.json`, `BENCH.json`, `baselines.json`),
 //! * [`olap`] — the OLAP column-scan workload of Fig. 19b,
@@ -34,16 +36,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod json;
 pub mod olap;
 pub mod report;
 pub mod sweep;
 
+pub use campaign::{CampaignRun, CampaignStats};
 pub use experiments::{Point, Scale};
 pub use piccolo_accel::{CacheKind, SimConfig, SystemKind, TilingPolicy};
 pub use report::{area_report, AreaReport, EnergyBreakdown, FigureRows, SimReport};
-pub use sweep::{ExperimentSpec, RunConfig, SweepRunner, TraversalKind};
+pub use sweep::{ExperimentSpec, GraphKey, RunConfig, SweepRunner, TraversalKind};
 
 use piccolo_algo::VertexProgram;
 use piccolo_graph::Csr;

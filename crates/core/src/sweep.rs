@@ -17,6 +17,10 @@
 //! output is bit-identical for any worker count — `--jobs 1` and `--jobs $(nproc)` must
 //! (and do) produce the same bytes, which CI enforces.
 //!
+//! Execution itself lives in [`crate::campaign`]: [`SweepRunner::run`] is a campaign of
+//! one figure, and [`SweepRunner::run_campaign`](crate::campaign) flattens many figures
+//! into one global queue that builds each distinct graph exactly once campaign-wide.
+//!
 //! Like [`piccolo_graph::rng`], the pool is hand-rolled on `std` only: the build
 //! environment has no access to crates.io, so there is no rayon/crossbeam here — just
 //! `std::thread::scope`, an atomic work index and per-slot mutexes.
@@ -52,9 +56,13 @@ use crate::experiments::Point;
 use piccolo_accel::{simulate, simulate_edge_centric, RunResult, SimConfig};
 use piccolo_algo::{Algorithm, Bfs, ConnectedComponents, PageRank, Sssp, Sswp};
 use piccolo_graph::{Csr, Dataset};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The graph-identity key `(dataset, scale_shift, seed)` under which the campaign
+/// scheduler deduplicates graph builds: two runs with equal keys traverse the same
+/// deterministic stand-in graph.
+pub type GraphKey = (Dataset, u32, u64);
 
 /// Which traversal order a run uses (Fig. 19a compares the two).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,8 +113,9 @@ impl RunConfig {
         }
     }
 
-    /// The graph-identity key used to build each distinct graph exactly once per sweep.
-    fn graph_key(&self) -> (Dataset, u32, u64) {
+    /// The graph-identity key under which each distinct graph is built exactly once
+    /// across a whole campaign (see [`crate::campaign`]).
+    pub fn graph_key(&self) -> GraphKey {
         (self.dataset, self.scale_shift, self.seed)
     }
 
@@ -152,7 +161,7 @@ impl RunConfig {
 pub struct RunHandle(usize);
 
 /// One independent unit of work in a sweep grid.
-enum Unit {
+pub(crate) enum Unit {
     /// A full simulation run.
     Sim(Box<RunConfig>),
     /// A self-contained measurement producing points directly (microbenchmarks,
@@ -171,7 +180,7 @@ impl std::fmt::Debug for Unit {
 
 /// Output of one executed unit.
 #[derive(Debug, Clone)]
-enum UnitResult {
+pub(crate) enum UnitResult {
     Run(Box<RunResult>),
     Points(Vec<Point>),
 }
@@ -263,6 +272,32 @@ impl ExperimentSpec {
             .iter()
             .filter(|u| matches!(u, Unit::Sim(_)))
             .count()
+    }
+
+    /// The grid units, in registration order (the campaign scheduler flattens these
+    /// into its global work queue).
+    pub(crate) fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Evaluates the derived output rows from this spec's completed grid (`units[i]` is
+    /// the result of `self.units()[i]`). Pure arithmetic — always sequential.
+    pub(crate) fn evaluate(&self, units: &[UnitResult]) -> Vec<Point> {
+        let view = SweepResults { units };
+        let mut out = Vec::new();
+        for output in &self.outputs {
+            match output {
+                Output::Derived { label, compute } => out.push(Point {
+                    label: label.clone(),
+                    value: compute(&view),
+                }),
+                Output::Splice(idx) => match &units[*idx] {
+                    UnitResult::Points(pts) => out.extend(pts.iter().cloned()),
+                    UnitResult::Run(_) => unreachable!("splice points at a sim unit"),
+                },
+            }
+        }
+        out
     }
 }
 
@@ -388,45 +423,16 @@ impl SweepRunner {
 
     /// Runs every unit of `spec` (sharded across the pool), then evaluates the derived
     /// points. Output is identical for every worker count.
+    ///
+    /// This is a campaign of one figure: the same scheduler that executes multi-figure
+    /// campaigns ([`crate::campaign`]) runs the grid, so there is exactly one execution
+    /// spine — graph builds are schedulable units and each distinct graph is built once.
     pub fn run(&self, spec: &ExperimentSpec) -> Vec<Point> {
-        // Build each distinct graph exactly once, in parallel across distinct keys.
-        let mut keys: Vec<(Dataset, u32, u64)> = Vec::new();
-        for unit in &spec.units {
-            if let Unit::Sim(rc) = unit {
-                let key = rc.graph_key();
-                if !keys.contains(&key) {
-                    keys.push(key);
-                }
-            }
-        }
-        let built = run_indexed(self.jobs, keys.len(), |i| {
-            let (d, shift, seed) = keys[i];
-            d.build(shift, seed)
-        });
-        let graphs: HashMap<(Dataset, u32, u64), Csr> = keys.into_iter().zip(built).collect();
-
-        // Shard the grid across the pool; results land in unit order.
-        let results = run_indexed(self.jobs, spec.units.len(), |i| match &spec.units[i] {
-            Unit::Sim(rc) => UnitResult::Run(Box::new(rc.execute(&graphs[&rc.graph_key()]))),
-            Unit::Measure(f) => UnitResult::Points(f()),
-        });
-
-        // Derived points are evaluated sequentially — they are pure arithmetic.
-        let view = SweepResults { units: &results };
-        let mut out = Vec::new();
-        for output in &spec.outputs {
-            match output {
-                Output::Derived { label, compute } => out.push(Point {
-                    label: label.clone(),
-                    value: compute(&view),
-                }),
-                Output::Splice(idx) => match &results[*idx] {
-                    UnitResult::Points(pts) => out.extend(pts.iter().cloned()),
-                    UnitResult::Run(_) => unreachable!("splice points at a sim unit"),
-                },
-            }
-        }
-        out
+        self.run_campaign(std::slice::from_ref(spec))
+            .figures
+            .pop()
+            .expect("a campaign of one spec yields one figure")
+            .points
     }
 }
 
