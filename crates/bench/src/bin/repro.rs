@@ -1,8 +1,10 @@
 //! Reproduces the paper's tables and figures and prints their rows.
 //!
-//! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]`
+//! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]
+//! [--external NAME=PATH ...] [--snapshot-dir DIR]`
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default).
+//! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default when no
+//! `--external` is given).
 //!
 //! All requested figures run as **one campaign** (`piccolo::campaign`): their grids are
 //! flattened into a single global work queue, `--jobs N` shards it across `N` worker
@@ -11,15 +13,48 @@
 //! printed rows and the optional `results.json` — is bit-identical for every worker
 //! count; CI diffs the two to enforce it. Scheduling stats (graphs built vs saved,
 //! wall-clock) go to stderr as well, so they stay visible when stdout is redirected.
+//!
+//! `--external NAME=PATH` (repeatable) loads a real graph — plain edge list, SNAP TSV,
+//! MatrixMarket or an existing `.pcsr` snapshot — through the `piccolo-io` snapshot
+//! cache and appends the `external` figure (PR+BFS on both engines) over every loaded
+//! graph to the campaign. With `--external` and no explicit figures, only the
+//! `external` figure runs. Each load reports `snapshot cache hit|miss` (or `direct`
+//! for `.pcsr` inputs) on stderr; the second run of the same file always hits.
 
-use piccolo::experiments::{default_specs, Scale, FIGURES};
+use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
 use piccolo::report::results_json;
 use piccolo::sweep::SweepRunner;
+use piccolo_graph::Dataset;
+use std::path::{Path, PathBuf};
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]");
+    eprintln!(
+        "usage: repro [figure ...] [--quick|--full] [--jobs N] [--out results.json] \
+         [--external NAME=PATH ...] [--snapshot-dir DIR]"
+    );
     std::process::exit(2);
+}
+
+/// Loads every `--external NAME=PATH` through the snapshot cache, registers it, and
+/// returns the dataset handles in CLI order (so ids and output are deterministic).
+fn load_externals(externals: &[(String, String)], snapshot_dir: &Path) -> Vec<Dataset> {
+    let mut datasets = Vec::new();
+    for (name, path) in externals {
+        let loaded = piccolo_io::load_graph_with(Path::new(path), None, snapshot_dir)
+            .unwrap_or_else(|e| fail(&format!("cannot load external graph '{name}': {e}")));
+        if loaded.graph.num_vertices() == 0 {
+            fail(&format!("external graph '{name}' ({path}) is empty"));
+        }
+        eprintln!(
+            "external '{name}': {path} ({} vertices, {} edges) snapshot cache {}",
+            loaded.graph.num_vertices(),
+            loaded.graph.num_edges(),
+            loaded.status
+        );
+        datasets.push(piccolo_graph::external::register(name, loaded.graph));
+    }
+    datasets
 }
 
 fn main() {
@@ -28,6 +63,8 @@ fn main() {
     let mut quick = false;
     let mut jobs: usize = 0; // 0 = all cores
     let mut out_path: Option<String> = None;
+    let mut externals: Vec<(String, String)> = Vec::new();
+    let mut snapshot_dir: Option<PathBuf> = None;
 
     // Space-separated flag values only (`--jobs 4`), matching the bench harness.
     let mut it = args.iter();
@@ -47,6 +84,20 @@ fn main() {
                 Some(v) => out_path = Some(v.clone()),
                 None => fail("--out needs a path"),
             },
+            "--external" => match it.next().map(|v| v.split_once('=')) {
+                Some(Some((name, path))) if !name.is_empty() && !path.is_empty() => {
+                    if externals.iter().any(|(n, _)| n == name) {
+                        fail(&format!("duplicate external name '{name}'"));
+                    }
+                    externals.push((name.to_string(), path.to_string()));
+                }
+                Some(_) => fail("--external expects NAME=PATH"),
+                None => fail("--external needs a NAME=PATH value"),
+            },
+            "--snapshot-dir" => match it.next() {
+                Some(v) => snapshot_dir = Some(PathBuf::from(v)),
+                None => fail("--snapshot-dir needs a path"),
+            },
             other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
             other => figures.push(other.to_string()),
         }
@@ -57,15 +108,23 @@ fn main() {
     } else {
         Scale::default_repro()
     };
-    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+    // With no figure arguments the default is every figure — unless externals were
+    // given, in which case the default shrinks to just the external figure.
+    if figures.iter().any(|f| f == "all") || (figures.is_empty() && externals.is_empty()) {
         figures = FIGURES.iter().map(|s| s.to_string()).collect();
     }
 
+    let snapshot_dir = snapshot_dir.unwrap_or_else(piccolo_io::default_snapshot_dir);
+    let external_datasets = load_externals(&externals, &snapshot_dir);
+
     let runner = SweepRunner::new(jobs);
     let started = std::time::Instant::now();
-    let (specs, unknown) = default_specs(&figures, scale);
+    let (mut specs, unknown) = default_specs(&figures, scale);
     for f in &unknown {
         eprintln!("unknown figure '{f}'");
+    }
+    if !external_datasets.is_empty() {
+        specs.push(external_spec(scale, &external_datasets));
     }
 
     // One campaign over every requested figure: one global worker pool, each distinct
@@ -96,13 +155,15 @@ fn main() {
     let stats = campaign.stats;
     let stats_line = format!(
         "campaign: {} figure(s), {} sim run(s), {} measure unit(s); \
-         {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling; \
+         {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling, \
+         {} evicted when their last consumer finished; \
          {} worker(s), scale shift {}, {:.1} s",
         stats.figures,
         stats.sim_runs,
         stats.measure_units,
         stats.graphs_built,
         stats.builds_saved,
+        stats.graphs_evicted,
         runner.jobs(),
         scale.scale_shift,
         started.elapsed().as_secs_f64()

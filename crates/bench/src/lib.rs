@@ -108,6 +108,7 @@ pub fn bench_json(
                 ("sim_runs", Json::Num(campaign.sim_runs as f64)),
                 ("graphs_built", Json::Num(campaign.graphs_built as f64)),
                 ("builds_saved", Json::Num(campaign.builds_saved as f64)),
+                ("graphs_evicted", Json::Num(campaign.graphs_evicted as f64)),
             ]),
         ),
         (
@@ -257,6 +258,7 @@ mod tests {
                 measure_units: 0,
                 graphs_built: 1,
                 builds_saved: 0,
+                graphs_evicted: 1,
             },
         );
         let v = parse(doc.trim()).unwrap();

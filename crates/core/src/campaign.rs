@@ -23,7 +23,14 @@
 //!    guaranteed to be a live worker (builds occupy the lowest queue indices), so the
 //!    wait always terminates. A panicking build marks its slot failed and wakes all
 //!    waiters, which panic in turn; [`run_indexed`] then resumes the **lowest-indexed**
-//!    payload — the build's original panic — on the caller.
+//!    payload — the build's original panic — on the caller. Slots are **refcounted**
+//!    by their campaign-wide consumer count: the last grid unit to finish with a graph
+//!    evicts it from the store, so a graph's CSR is dropped the moment nothing in the
+//!    campaign needs it instead of staying pinned until the campaign ends. (For
+//!    [`piccolo_graph::external`] graphs the registry keeps its own `Arc` for the
+//!    life of the process; eviction releases the campaign's handle.) Eviction can
+//!    never cause a rebuild — a post-eviction wait is a loud panic, not a rebuild, and
+//!    the build-counting tests pin exactly one build per key with eviction active.
 //! 3. **Results land by `(figure, unit index)` slot**, and derived rows (speedups,
 //!    geomeans) are evaluated per figure from its completed grid, so campaign output is
 //!    byte-identical for any worker count — the property CI enforces on
@@ -36,6 +43,7 @@ use crate::report::FigureRows;
 use crate::sweep::{run_indexed, ExperimentSpec, GraphKey, SweepRunner, Unit, UnitResult};
 use piccolo_graph::Csr;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Deterministic estimate of a graph build's cost — the paper's edge count shrunk by
@@ -63,6 +71,12 @@ pub struct CampaignStats {
     /// Builds avoided relative to per-figure scheduling (the sum over figures of their
     /// distinct keys, minus the campaign-wide distinct keys). Zero for a single figure.
     pub builds_saved: usize,
+    /// Graphs evicted from the shared store mid-campaign, when their last consumer
+    /// finished. Always equals `graphs_built` on a completed campaign. Synthetic
+    /// stand-ins are freed outright at that point; an external graph's memory is
+    /// additionally owned by the process-global `piccolo_graph::external` registry,
+    /// which keeps it for the life of the process.
+    pub graphs_evicted: usize,
 }
 
 /// Output of [`SweepRunner::run_campaign`]: every figure's rows plus scheduling stats.
@@ -83,29 +97,39 @@ enum SlotState {
     /// The build task panicked; waiters must panic too (the build's own payload is the
     /// one the pool re-raises).
     Failed,
+    /// Every consumer has finished and the graph has been dropped. Reaching this slot
+    /// from [`GraphStore::wait`] is a refcounting bug — eviction must never force a
+    /// rebuild, so the store panics loudly instead of rebuilding silently.
+    Evicted,
 }
 
 struct Slot {
     state: Mutex<SlotState>,
     ready: Condvar,
+    /// Grid units still needing this graph; the last one to finish evicts it.
+    remaining: AtomicUsize,
 }
 
-/// Shared graph store: one slot per distinct [`GraphKey`] of the campaign.
+/// Shared graph store: one slot per distinct [`GraphKey`] of the campaign, refcounted
+/// by the number of grid units that consume each graph so the `Csr` is dropped the
+/// moment its last consumer finishes (ROADMAP residual: no graph stays pinned for the
+/// whole campaign).
 struct GraphStore {
     slots: HashMap<GraphKey, Slot>,
 }
 
 impl GraphStore {
-    fn new(keys: &[GraphKey]) -> Self {
+    fn new(keys: &[(GraphKey, usize)]) -> Self {
         Self {
             slots: keys
                 .iter()
-                .map(|&k| {
+                .map(|&(k, consumers)| {
                     (
                         k,
                         Slot {
                             state: Mutex::new(SlotState::Pending),
                             ready: Condvar::new(),
+                            remaining: AtomicUsize::new(consumers),
                         },
                     )
                 })
@@ -131,7 +155,9 @@ impl GraphStore {
         slot.ready.notify_all();
     }
 
-    /// Blocks until `key`'s graph is built and returns it. Panics if the build failed.
+    /// Blocks until `key`'s graph is built and returns it. Panics if the build failed
+    /// or the graph was already evicted (the latter would mean the consumer refcount
+    /// under-counted — a scheduler bug, never a reason to rebuild).
     fn wait(&self, key: GraphKey) -> Arc<Csr> {
         let slot = &self.slots[&key];
         let mut state = slot.state.lock().unwrap();
@@ -139,9 +165,32 @@ impl GraphStore {
             match &*state {
                 SlotState::Ready(graph) => return Arc::clone(graph),
                 SlotState::Failed => panic!("graph build for {key:?} panicked"),
+                SlotState::Evicted => {
+                    panic!("graph {key:?} evicted while consumers remained (refcount bug)")
+                }
                 SlotState::Pending => state = slot.ready.wait(state).unwrap(),
             }
         }
+    }
+
+    /// Signals that one consumer of `key` has finished; the last consumer drops the
+    /// graph. Eviction only moves `Ready -> Evicted` — a failed slot stays failed.
+    fn release(&self, key: GraphKey) {
+        let slot = &self.slots[&key];
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut state = slot.state.lock().unwrap();
+            if matches!(*state, SlotState::Ready(_)) {
+                *state = SlotState::Evicted;
+            }
+        }
+    }
+
+    /// Number of slots whose graph has been evicted.
+    fn evicted_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| matches!(*s.state.lock().unwrap(), SlotState::Evicted))
+            .count()
     }
 }
 
@@ -175,8 +224,10 @@ impl SweepRunner {
     /// campaign-wide. Returns each figure's rows (derived points evaluated per figure)
     /// plus scheduling stats. Output is byte-identical for every worker count.
     pub fn run_campaign(&self, specs: &[ExperimentSpec]) -> CampaignRun {
+        // `build_shared` hands out the registry's Arc for external graphs instead of
+        // cloning the CSR, and wraps a fresh build for the synthetic stand-ins.
         run_campaign_with(self.jobs(), specs, |(dataset, shift, seed)| {
-            dataset.build(shift, seed)
+            dataset.build_shared(shift, seed)
         })
     }
 }
@@ -186,11 +237,13 @@ impl SweepRunner {
 pub(crate) fn run_campaign_with(
     jobs: usize,
     specs: &[ExperimentSpec],
-    build: impl Fn(GraphKey) -> Csr + Sync,
+    build: impl Fn(GraphKey) -> Arc<Csr> + Sync,
 ) -> CampaignRun {
-    // Distinct graph keys in first-appearance order (deterministic), plus the number of
-    // builds a per-figure scheduler would have performed, for the stats.
+    // Distinct graph keys in first-appearance order (deterministic) with their
+    // campaign-wide consumer counts (for eviction), plus the number of builds a
+    // per-figure scheduler would have performed, for the stats.
     let mut keys: Vec<GraphKey> = Vec::new();
+    let mut consumers: HashMap<GraphKey, usize> = HashMap::new();
     let mut per_figure_builds = 0usize;
     for spec in specs {
         let mut figure_keys: Vec<GraphKey> = Vec::new();
@@ -203,6 +256,7 @@ pub(crate) fn run_campaign_with(
                 if !keys.contains(&key) {
                     keys.push(key);
                 }
+                *consumers.entry(key).or_insert(0) += 1;
             }
         }
         per_figure_builds += figure_keys.len();
@@ -233,7 +287,8 @@ pub(crate) fn run_campaign_with(
         }
     });
 
-    let store = GraphStore::new(&keys);
+    let keyed: Vec<(GraphKey, usize)> = keys.iter().map(|&k| (k, consumers[&k])).collect();
+    let store = GraphStore::new(&keyed);
     let outputs = run_indexed(jobs, n_builds + unit_index.len(), |i| {
         if i < n_builds {
             let key = keys[i];
@@ -243,20 +298,27 @@ pub(crate) fn run_campaign_with(
                 armed: true,
             };
             let graph = build(key);
-            store.fulfill(key, Arc::new(graph));
+            store.fulfill(key, graph);
             guard.armed = false;
             TaskOut::Built
         } else {
             let (figure, unit) = unit_index[schedule[i - n_builds]];
             TaskOut::Unit(match &specs[figure].units()[unit] {
                 Unit::Sim(rc) => {
-                    let graph = store.wait(rc.graph_key());
-                    UnitResult::Run(Box::new(rc.execute(&graph)))
+                    let key = rc.graph_key();
+                    let graph = store.wait(key);
+                    let result = UnitResult::Run(Box::new(rc.execute(&graph)));
+                    // This unit is done with the graph: drop our handle, then let the
+                    // store evict the slot if we were the last consumer.
+                    drop(graph);
+                    store.release(key);
+                    result
                 }
                 Unit::Measure(f) => UnitResult::Points(f()),
             })
         }
     });
+    let graphs_evicted = store.evicted_count();
 
     // Un-permute the scheduled outputs back into figure-major `(figure, unit)` order
     // and evaluate each figure's derived rows from its completed grid.
@@ -297,6 +359,9 @@ pub(crate) fn run_campaign_with(
             // aborts the whole campaign, so a returned run always built all of them.
             graphs_built: n_builds,
             builds_saved: per_figure_builds - n_builds,
+            // Every key has >= 1 consumer (keys come from sim units), so a completed
+            // campaign has evicted every graph it built.
+            graphs_evicted,
         },
     }
 }
@@ -349,6 +414,9 @@ mod tests {
 
     #[test]
     fn each_distinct_graph_is_built_exactly_once_campaign_wide() {
+        // Eviction is always active, so this doubles as the eviction-never-rebuilds
+        // pin: if the refcounted store dropped a graph too early, a remaining unit
+        // would panic; if it somehow triggered a rebuild, the count would exceed 1.
         let specs = shared_graph_specs();
         for jobs in [1, 4] {
             let counts: Mutex<HashMap<GraphKey, usize>> = Mutex::new(HashMap::new());
@@ -358,7 +426,7 @@ mod tests {
                     .unwrap()
                     .entry((dataset, shift, seed))
                     .or_insert(0) += 1;
-                dataset.build(shift, seed)
+                Arc::new(dataset.build(shift, seed))
             });
             let counts = counts.into_inner().unwrap();
             // All three figures use the same (Sinaweibo, 15, 3) graph.
@@ -376,6 +444,32 @@ mod tests {
             assert_eq!(run.stats.builds_saved, specs.len() - 1);
             assert_eq!(run.stats.figures, specs.len());
             assert!(run.stats.sim_runs > run.stats.graphs_built);
+            // The last consumer evicted the graph — nothing stays pinned.
+            assert_eq!(run.stats.graphs_evicted, run.stats.graphs_built);
+        }
+    }
+
+    #[test]
+    fn eviction_drops_the_store_arc_after_the_last_consumer() {
+        // Keep a weak handle to every Arc the build function produced: the stats pin
+        // that every slot reached Evicted (the graph was dropped when its last
+        // consumer finished, not when the campaign ended), and the weak handles prove
+        // no clone leaked past the campaign.
+        let specs = shared_graph_specs();
+        let weaks: Mutex<Vec<std::sync::Weak<Csr>>> = Mutex::new(Vec::new());
+        let run = run_campaign_with(2, &specs, |(dataset, shift, seed)| {
+            let graph = Arc::new(dataset.build(shift, seed));
+            weaks.lock().unwrap().push(Arc::downgrade(&graph));
+            graph
+        });
+        assert_eq!(run.stats.graphs_evicted, run.stats.graphs_built);
+        // The store is gone (run_campaign_with returned) and every unit released its
+        // handle, so no graph can be alive anywhere.
+        for weak in weaks.into_inner().unwrap() {
+            assert!(
+                weak.upgrade().is_none(),
+                "a graph outlived the campaign despite eviction"
+            );
         }
     }
 
@@ -404,7 +498,7 @@ mod tests {
         let specs = shared_graph_specs();
         for jobs in [1, 4] {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_campaign_with(jobs, &specs, |key: GraphKey| -> Csr {
+                run_campaign_with(jobs, &specs, |key: GraphKey| -> Arc<Csr> {
                     panic!("graph build exploded for {key:?}")
                 })
             }));
@@ -427,5 +521,37 @@ mod tests {
         assert!(run.figures.is_empty());
         assert_eq!(run.stats.graphs_built, 0);
         assert_eq!(run.stats.builds_saved, 0);
+        assert_eq!(run.stats.graphs_evicted, 0);
+    }
+
+    #[test]
+    fn external_datasets_flow_through_the_campaign_unchanged() {
+        // An external graph registered under a name behaves exactly like a stand-in:
+        // it gets a graph key, is "built" (fetched) once, evicted at the end, and the
+        // rows are byte-identical for any worker count.
+        use piccolo_graph::{external, generate};
+
+        let g = generate::kronecker(10, 4, 23);
+        let ds = external::register("campaign-test-ext", g);
+        let algs = [Algorithm::Bfs];
+        let specs = vec![
+            experiments::fig10_spec(tiny(), &[ds], &algs),
+            experiments::fig12_spec(tiny(), &[ds], &algs),
+        ];
+        let reference = SweepRunner::sequential().run_campaign(&specs);
+        assert_eq!(reference.stats.graphs_built, 1);
+        assert_eq!(reference.stats.builds_saved, 1);
+        assert_eq!(reference.stats.graphs_evicted, 1);
+        // Every per-dataset row (everything but the GM aggregates) names the external.
+        assert!(reference.figures[0]
+            .points
+            .iter()
+            .filter(|p| !p.label.starts_with("GM/"))
+            .all(|p| p.label.contains("campaign-test-ext")));
+        let parallel = SweepRunner::new(4).run_campaign(&specs);
+        assert_eq!(
+            results_json(tiny(), &parallel.figures),
+            results_json(tiny(), &reference.figures)
+        );
     }
 }

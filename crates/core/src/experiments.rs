@@ -707,6 +707,40 @@ pub fn fig20b(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
     SweepRunner::sequential().run(&fig20b_spec(scale, datasets))
 }
 
+/// External datasets — the configurable figure subset `repro --external` runs over
+/// loaded graphs: PR and BFS on both traversal engines, conventional baseline vs
+/// Piccolo, every row a speedup over that algorithm's vertex-centric conventional run
+/// (the Fig. 19a convention). `datasets` are [`Dataset::External`] handles from
+/// [`piccolo_graph::external::register`], but any dataset works.
+pub fn external_spec(scale: Scale, datasets: &[Dataset]) -> ExperimentSpec {
+    let mut b = ExperimentSpec::builder("external", "External datasets (PR+BFS, both engines)");
+    for &d in datasets {
+        for alg in [Algorithm::PageRank, Algorithm::Bfs] {
+            let vc_base = b.sim(vc(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
+            let vc_pic = b.sim(vc(d, scale, alg, config(SystemKind::Piccolo, scale)));
+            let ec_base = b.sim(ec(d, scale, alg, config(SystemKind::GraphDynsCache, scale)));
+            let ec_pic = b.sim(ec(d, scale, alg, config(SystemKind::Piccolo, scale)));
+            for (name, h) in [
+                ("VC/Conventional", vc_base),
+                ("VC/Piccolo", vc_pic),
+                ("EC/Conventional", ec_base),
+                ("EC/Piccolo", ec_pic),
+            ] {
+                b.point(
+                    format!("{}/{}/{}", alg.short_name(), d.short_name(), name),
+                    move |r| r.speedup(vc_base, h),
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// External-dataset rows (sequential execution of [`external_spec`]).
+pub fn external(scale: Scale, datasets: &[Dataset]) -> Vec<Point> {
+    SweepRunner::sequential().run(&external_spec(scale, datasets))
+}
+
 /// Table II — dataset inventory (paper sizes vs stand-in sizes).
 pub fn table2_spec(scale: Scale) -> ExperimentSpec {
     let mut b = ExperimentSpec::builder("table2", "Table II (datasets)");
@@ -847,6 +881,31 @@ mod tests {
             ["fig10", "table2"]
         );
         assert_eq!(unknown, ["fig99"]);
+    }
+
+    #[test]
+    fn external_spec_covers_both_algorithms_and_engines() {
+        use piccolo_graph::{external, generate};
+
+        let ds = external::register("experiments-test-ext", generate::kronecker(10, 4, 31));
+        let spec = external_spec(tiny(), &[ds]);
+        assert_eq!(spec.name(), "external");
+        assert_eq!(spec.num_runs(), 2 * 4); // PR+BFS x {VC,EC} x {base,Piccolo}
+        let pts = SweepRunner::sequential().run(&spec);
+        assert_eq!(pts.len(), 8);
+        for alg in ["PR", "BFS"] {
+            let base = pts
+                .iter()
+                .find(|p| p.label == format!("{alg}/experiments-test-ext/VC/Conventional"))
+                .expect("baseline row present");
+            assert!(
+                (base.value - 1.0).abs() < 1e-9,
+                "{}: {}",
+                base.label,
+                base.value
+            );
+        }
+        assert!(pts.iter().all(|p| p.value > 0.0));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! transpose for pull-style traversal, and per-tile CSR slicing used by the tiling
 //! accelerators.
 
-use crate::{Edge, EdgeList, VertexId, Weight};
+use crate::{Edge, EdgeList, GraphError, VertexId, Weight};
 
 /// A directed graph in compressed sparse row form, ordered by source vertex.
 ///
@@ -61,40 +61,61 @@ impl Csr {
     /// # Panics
     ///
     /// Panics if the arrays are inconsistent (offsets not monotone, lengths mismatch, or
-    /// a column index out of range).
+    /// a column index out of range). Use [`Csr::try_from_raw`] on ingestion paths where
+    /// the input is untrusted (files, network) and a typed error is needed instead.
     pub fn from_raw(
         row_offsets: Vec<u64>,
         col_indices: Vec<VertexId>,
         weights: Vec<Weight>,
     ) -> Self {
-        assert!(
-            !row_offsets.is_empty(),
-            "row_offsets must have at least one entry"
-        );
-        assert_eq!(
-            col_indices.len(),
-            weights.len(),
-            "col/weight length mismatch"
-        );
-        assert_eq!(
-            *row_offsets.last().unwrap() as usize,
-            col_indices.len(),
-            "last row offset must equal edge count"
-        );
-        assert!(
-            row_offsets.windows(2).all(|w| w[0] <= w[1]),
-            "row offsets must be monotone"
-        );
+        match Self::try_from_raw(row_offsets, col_indices, weights) {
+            Ok(csr) => csr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`Csr::from_raw`]: validates that `row_offsets` is non-empty
+    /// and monotone, that its last entry equals the edge count, that `col_indices` and
+    /// `weights` agree in length, and that every column index is in range. Every file
+    /// ingestion path (`piccolo-io`) routes through this, so a malformed snapshot fails
+    /// with a [`GraphError`] instead of a panic or silent corruption.
+    pub fn try_from_raw(
+        row_offsets: Vec<u64>,
+        col_indices: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Result<Self, GraphError> {
+        if row_offsets.is_empty() {
+            return Err(GraphError::EmptyOffsets);
+        }
+        if col_indices.len() != weights.len() {
+            return Err(GraphError::WeightLengthMismatch {
+                col_indices: col_indices.len(),
+                weights: weights.len(),
+            });
+        }
+        if let Some(index) = row_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::NonMonotonicOffsets { index });
+        }
+        let last = *row_offsets.last().unwrap();
+        if last != col_indices.len() as u64 {
+            return Err(GraphError::OffsetEdgeMismatch {
+                last_offset: last,
+                num_edges: col_indices.len(),
+            });
+        }
         let n = (row_offsets.len() - 1) as u32;
-        assert!(
-            col_indices.iter().all(|&c| c < n),
-            "column index out of range"
-        );
-        Self {
+        if let Some(edge) = col_indices.iter().position(|&c| c >= n) {
+            return Err(GraphError::ColIndexOutOfRange {
+                edge,
+                dst: col_indices[edge],
+                num_vertices: n,
+            });
+        }
+        Ok(Self {
             row_offsets,
             col_indices,
             weights,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -325,6 +346,44 @@ mod tests {
     #[should_panic]
     fn from_raw_rejects_bad_offsets() {
         Csr::from_raw(vec![0, 2, 1], vec![0, 0], vec![1, 1]);
+    }
+
+    #[test]
+    fn try_from_raw_reports_typed_errors() {
+        assert_eq!(
+            Csr::try_from_raw(vec![], vec![], vec![]),
+            Err(GraphError::EmptyOffsets)
+        );
+        assert_eq!(
+            Csr::try_from_raw(vec![0, 2, 1], vec![0, 0], vec![1, 1]),
+            Err(GraphError::NonMonotonicOffsets { index: 1 })
+        );
+        assert_eq!(
+            Csr::try_from_raw(vec![0, 1], vec![0], vec![]),
+            Err(GraphError::WeightLengthMismatch {
+                col_indices: 1,
+                weights: 0
+            })
+        );
+        assert_eq!(
+            Csr::try_from_raw(vec![0, 3], vec![0], vec![1]),
+            Err(GraphError::OffsetEdgeMismatch {
+                last_offset: 3,
+                num_edges: 1
+            })
+        );
+        assert_eq!(
+            Csr::try_from_raw(vec![0, 1], vec![5], vec![1]),
+            Err(GraphError::ColIndexOutOfRange {
+                edge: 0,
+                dst: 5,
+                num_vertices: 1
+            })
+        );
+        // The empty graph (one offset, no edges) is valid.
+        let empty = Csr::try_from_raw(vec![0], vec![], vec![]).unwrap();
+        assert_eq!(empty.num_vertices(), 0);
+        assert!(!format!("{}", GraphError::EmptyOffsets).is_empty());
     }
 
     #[test]

@@ -17,8 +17,16 @@
 //! the working-set-to-cache ratio — the quantity that actually determines hit rates and
 //! the tiling trade-off — matches the paper.
 
+use crate::external;
 use crate::generate;
 use crate::Csr;
+use std::sync::Arc;
+
+/// Fetches a registered external graph; registering is the caller's responsibility
+/// (the `piccolo-io` drivers do it), so a missing id is a programming error.
+fn registered_graph(id: u32) -> Arc<Csr> {
+    external::graph(id).unwrap_or_else(|| panic!("external dataset id {id} was never registered"))
+}
 
 /// Identifier for the evaluation datasets of Table II (plus the synthetic families).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +53,13 @@ pub enum Dataset {
         /// global scale shift.
         scale: u32,
     },
+    /// An externally-loaded graph (edge-list / SNAP / MatrixMarket file ingested by
+    /// `piccolo-io`), identified by its [`crate::external`] registry id. Scale shift
+    /// and seed are ignored when building: the graph is whatever was registered.
+    External {
+        /// Registry id assigned by [`external::register`].
+        id: u32,
+    },
 }
 
 impl Dataset {
@@ -67,6 +82,8 @@ impl Dataset {
             Dataset::Papers => "PP".to_string(),
             Dataset::WattsStrogatz { scale } => format!("WS{scale}"),
             Dataset::Kronecker { scale } => format!("KN{scale}"),
+            Dataset::External { id } => external::name(*id)
+                .unwrap_or_else(|| panic!("external dataset id {id} was never registered")),
         }
     }
 
@@ -122,6 +139,16 @@ impl Dataset {
                 avg_degree: 10,
                 family: Family::PowerLaw,
             },
+            Dataset::External { id } => {
+                let g = registered_graph(id);
+                DatasetSpec {
+                    dataset: *self,
+                    paper_vertices: g.num_vertices() as u64,
+                    paper_edges: g.num_edges(),
+                    avg_degree: g.average_degree().round() as u32,
+                    family: Family::External,
+                }
+            }
         }
     }
 
@@ -132,6 +159,17 @@ impl Dataset {
     /// 41 M-vertex graph to ~160 K vertices.
     pub fn build(&self, scale_shift: u32, seed: u64) -> Csr {
         self.spec().build(scale_shift, seed)
+    }
+
+    /// Like [`Dataset::build`], but returns a shared handle. For synthetic stand-ins
+    /// this wraps a fresh build; for [`Dataset::External`] it hands out the registry's
+    /// `Arc` directly, so loaded graphs are never copied per consumer — the campaign
+    /// graph store builds on this.
+    pub fn build_shared(&self, scale_shift: u32, seed: u64) -> Arc<Csr> {
+        match *self {
+            Dataset::External { id } => registered_graph(id),
+            _ => Arc::new(self.build(scale_shift, seed)),
+        }
     }
 }
 
@@ -147,6 +185,9 @@ pub enum Family {
     PowerLawClustered,
     /// Watts–Strogatz small-world ring with rewiring.
     SmallWorld,
+    /// An externally-loaded graph — no generator; `build` reads the
+    /// [`crate::external`] registry.
+    External,
 }
 
 /// Full specification of a dataset: paper-scale sizes plus stand-in parameters.
@@ -165,13 +206,20 @@ pub struct DatasetSpec {
 }
 
 impl DatasetSpec {
-    /// Vertex count of the stand-in graph for a given scale shift.
+    /// Vertex count of the stand-in graph for a given scale shift. External graphs are
+    /// never scaled: their actual vertex count is returned unchanged.
     pub fn standin_vertices(&self, scale_shift: u32) -> u64 {
+        if self.family == Family::External {
+            return self.paper_vertices;
+        }
         (self.paper_vertices >> scale_shift).max(1024)
     }
 
     /// Builds the stand-in graph.
     pub fn build(&self, scale_shift: u32, seed: u64) -> Csr {
+        if let (Family::External, Dataset::External { id }) = (self.family, self.dataset) {
+            return (*registered_graph(id)).clone();
+        }
         let n = self.standin_vertices(scale_shift);
         // Round up to a power of two for the recursive generators.
         let scale = (64 - (n - 1).leading_zeros()).max(10);
@@ -185,6 +233,9 @@ impl DatasetSpec {
                 generate::rmat(scale, self.avg_degree, (0.45, 0.22, 0.22, 0.11), seed)
             }
             Family::SmallWorld => generate::watts_strogatz(scale, self.avg_degree, 0.1, seed),
+            Family::External => {
+                unreachable!("Family::External only appears on Dataset::External specs")
+            }
         }
     }
 }
@@ -246,5 +297,21 @@ mod tests {
     fn standin_vertices_has_floor() {
         let spec = Dataset::UciUni.spec();
         assert_eq!(spec.standin_vertices(40), 1024);
+    }
+
+    #[test]
+    fn external_dataset_reflects_the_registered_graph() {
+        let g = generate::uniform(2048, 8192, 11);
+        let ds = external::register("dataset-test-ext", g.clone());
+        assert_eq!(ds.short_name(), "dataset-test-ext");
+        let spec = ds.spec();
+        assert_eq!(spec.family, Family::External);
+        assert_eq!(spec.paper_vertices, g.num_vertices() as u64);
+        assert_eq!(spec.paper_edges, g.num_edges());
+        // Scale shift and seed are ignored: the external graph is never re-generated.
+        assert_eq!(spec.standin_vertices(13), g.num_vertices() as u64);
+        assert_eq!(ds.build(13, 99), g);
+        let shared = ds.build_shared(0, 0);
+        assert_eq!(*shared, g);
     }
 }

@@ -1,6 +1,6 @@
 //! Edge-list graph representation and helpers.
 
-use crate::{VertexId, Weight};
+use crate::{GraphError, VertexId, Weight};
 
 /// A single directed, weighted edge `(src, dst, weight)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,21 +54,35 @@ impl EdgeList {
     ///
     /// # Panics
     ///
-    /// Panics if any edge endpoint is `>= num_vertices`.
+    /// Panics if any edge endpoint is `>= num_vertices`. Use
+    /// [`EdgeList::try_from_edges`] on ingestion paths where the input is untrusted.
     pub fn from_edges(num_vertices: u32, edges: Vec<Edge>) -> Self {
-        for e in &edges {
-            assert!(
-                e.src < num_vertices && e.dst < num_vertices,
-                "edge ({}, {}) out of range for {} vertices",
-                e.src,
-                e.dst,
-                num_vertices
-            );
+        match Self::try_from_edges(num_vertices, edges) {
+            Ok(el) => el,
+            Err(e) => panic!("{e}"),
         }
-        Self {
+    }
+
+    /// Checked variant of [`EdgeList::from_edges`]: rejects any edge whose endpoint is
+    /// `>= num_vertices` with a typed [`GraphError`] instead of panicking. File parsers
+    /// (`piccolo-io`) route through this so a malformed edge list fails cleanly.
+    pub fn try_from_edges(num_vertices: u32, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if let Some(index) = edges
+            .iter()
+            .position(|e| e.src >= num_vertices || e.dst >= num_vertices)
+        {
+            let e = edges[index];
+            return Err(GraphError::EdgeOutOfRange {
+                index,
+                src: e.src,
+                dst: e.dst,
+                num_vertices,
+            });
+        }
+        Ok(Self {
             num_vertices,
             edges,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -198,5 +212,21 @@ mod tests {
     fn from_edges_validates() {
         let el = EdgeList::from_edges(3, vec![Edge::new(0, 2, 1)]);
         assert_eq!(el.num_edges(), 1);
+    }
+
+    #[test]
+    fn try_from_edges_reports_the_offending_edge() {
+        let err = EdgeList::try_from_edges(2, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)])
+            .expect_err("edge (1, 2) is out of range");
+        assert_eq!(
+            err,
+            GraphError::EdgeOutOfRange {
+                index: 1,
+                src: 1,
+                dst: 2,
+                num_vertices: 2
+            }
+        );
+        assert!(EdgeList::try_from_edges(3, vec![Edge::new(0, 2, 1)]).is_ok());
     }
 }

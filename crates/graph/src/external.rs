@@ -1,0 +1,122 @@
+//! Process-global registry of externally-loaded graphs.
+//!
+//! The synthetic stand-ins of [`crate::datasets`] are pure functions of
+//! `(dataset, scale_shift, seed)`, so a [`crate::Dataset`] value alone identifies a
+//! graph anywhere in the stack (campaign graph store, `results.json` rows, bench
+//! metrics). Real graphs loaded from disk (`piccolo-io`) have no such recipe — the
+//! bytes live in memory after parsing. This registry bridges the two worlds: a loaded
+//! [`Csr`] is [`register`]ed under a name and receives a stable small id, and
+//! [`Dataset::External`] wraps that id so every downstream consumer (graph keys,
+//! experiment grids, reports) works unchanged.
+//!
+//! Ids are assigned in registration order, so a driver that registers its `--external`
+//! graphs in CLI order gets deterministic ids (and therefore deterministic output) for
+//! any worker count. Re-registering an existing name replaces the graph and keeps the
+//! id, so a repeated load is idempotent.
+//!
+//! # Example
+//!
+//! ```
+//! use piccolo_graph::{external, generate, Dataset};
+//!
+//! let g = generate::kronecker(10, 4, 1);
+//! let ds = external::register("demo-doc", g.clone());
+//! assert_eq!(ds.short_name(), "demo-doc");
+//! assert_eq!(ds.build(0, 0), g); // shift/seed are ignored for external graphs
+//! assert_eq!(external::lookup("demo-doc"), Some(ds));
+//! ```
+
+use crate::{Csr, Dataset};
+use std::sync::{Arc, Mutex, OnceLock};
+
+struct Entry {
+    name: String,
+    graph: Arc<Csr>,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers `graph` under `name` and returns the [`Dataset::External`] handle for it.
+///
+/// If `name` is already registered, its graph is replaced and the existing id is
+/// reused, so repeated loads of the same source are idempotent and ids stay stable
+/// for the life of the process.
+pub fn register(name: &str, graph: Csr) -> Dataset {
+    let mut entries = registry().lock().unwrap();
+    let graph = Arc::new(graph);
+    if let Some(id) = entries.iter().position(|e| e.name == name) {
+        entries[id].graph = graph;
+        return Dataset::External { id: id as u32 };
+    }
+    entries.push(Entry {
+        name: name.to_string(),
+        graph,
+    });
+    Dataset::External {
+        id: (entries.len() - 1) as u32,
+    }
+}
+
+/// Looks up a previously registered name; `None` if it was never registered.
+pub fn lookup(name: &str) -> Option<Dataset> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .position(|e| e.name == name)
+        .map(|id| Dataset::External { id: id as u32 })
+}
+
+/// The name `id` was registered under, if any.
+pub fn name(id: u32) -> Option<String> {
+    registry()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .map(|e| e.name.clone())
+}
+
+/// The registered graph for `id`, if any. The `Arc` is shared with the registry, so
+/// handing it to a consumer does not copy the CSR.
+pub fn graph(id: u32) -> Option<Arc<Csr>> {
+    registry()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .map(|e| Arc::clone(&e.graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn register_assigns_stable_ids_and_replaces_by_name() {
+        let g1 = generate::uniform(100, 300, 1);
+        let g2 = generate::uniform(200, 500, 2);
+        let a = register("ext-test-a", g1.clone());
+        let b = register("ext-test-b", g2.clone());
+        assert_ne!(a, b);
+        assert_eq!(lookup("ext-test-a"), Some(a));
+        let Dataset::External { id: ida } = a else {
+            panic!("register returns an External dataset");
+        };
+        assert_eq!(name(ida).as_deref(), Some("ext-test-a"));
+        assert_eq!(*graph(ida).unwrap(), g1);
+        // Re-registering the same name keeps the id and replaces the graph.
+        let a2 = register("ext-test-a", g2.clone());
+        assert_eq!(a, a2);
+        assert_eq!(*graph(ida).unwrap(), g2);
+    }
+
+    #[test]
+    fn unknown_ids_and_names_are_none() {
+        assert_eq!(lookup("ext-test-never-registered"), None);
+        assert_eq!(name(u32::MAX), None);
+        assert!(graph(u32::MAX).is_none());
+    }
+}

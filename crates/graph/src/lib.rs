@@ -9,6 +9,8 @@
 //!   [`generate::watts_strogatz`] for small-world graphs, plus simple uniform/path/star
 //!   helpers),
 //! * named dataset stand-ins mirroring Table II of the paper ([`datasets`]),
+//! * a registry for externally-loaded graphs ([`external`]) so real files ingested by
+//!   `piccolo-io` flow through the same [`Dataset`] plumbing as the stand-ins,
 //! * destination-interval [`tiling`] used by the tiling-based accelerators, and
 //! * vertex property storage and active-vertex frontiers ([`props`]).
 //!
@@ -31,6 +33,8 @@ pub mod bitset;
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;
+pub mod error;
+pub mod external;
 pub mod generate;
 pub mod props;
 pub mod rng;
@@ -40,6 +44,7 @@ pub use bitset::BitSet;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec};
 pub use edgelist::{Edge, EdgeList};
+pub use error::GraphError;
 pub use props::{ActiveSet, VertexProps};
 pub use tiling::{Tile, Tiling};
 

@@ -1,0 +1,46 @@
+//! Real-graph ingestion for the Piccolo reproduction.
+//!
+//! Every graph the simulator ran before this crate existed was a synthetic stand-in;
+//! `piccolo-io` opens the pipeline to real traces. It has three layers:
+//!
+//! * **Text parsers** ([`text`]) — streaming, line-buffered readers for plain
+//!   whitespace edge lists, SNAP-style TSV (comment lines, optional weights) and
+//!   MatrixMarket `coordinate` files, producing [`piccolo_graph::EdgeList`] /
+//!   [`piccolo_graph::Csr`] through the checked constructors, with typed [`IoError`]s
+//!   carrying line/field context instead of panics.
+//! * **Binary snapshots** ([`pcsr`]) — the `.pcsr` format: magic + version + counts +
+//!   checksummed `row_offsets` / `col_indices` / `weights` sections in a deterministic
+//!   little-endian layout (full spec in `docs/pcsr-format.md`).
+//! * **The snapshot cache** ([`snapshot`]) — a content-hash-keyed directory of
+//!   snapshots, so the second load of any external graph skips parsing entirely and
+//!   editing a source file invalidates its snapshot automatically.
+//!
+//! The `graphtool` binary (`convert` / `info` / `verify`) exposes the same machinery
+//! on the command line, and `repro --external NAME=PATH` runs loaded graphs through
+//! the whole campaign pipeline via [`piccolo_graph::external`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use piccolo_io::{load_graph, SnapshotStatus};
+//!
+//! let loaded = load_graph(std::path::Path::new("twitter.tsv")).unwrap();
+//! assert!(matches!(loaded.status, SnapshotStatus::Hit | SnapshotStatus::Miss));
+//! println!("{} vertices", loaded.graph.num_vertices());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod hash;
+pub mod pcsr;
+pub mod snapshot;
+pub mod text;
+
+pub use error::IoError;
+pub use pcsr::{load_pcsr, read_pcsr, save_pcsr, write_pcsr};
+pub use snapshot::{
+    default_snapshot_dir, load_graph, load_graph_with, snapshot_path, LoadedGraph, SnapshotStatus,
+};
+pub use text::{load_text, read_text, TextFormat};

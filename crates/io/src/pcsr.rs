@@ -1,0 +1,308 @@
+//! The `.pcsr` binary CSR snapshot format (version 1).
+//!
+//! A `.pcsr` file is a deterministic little-endian serialization of a
+//! [`piccolo_graph::Csr`]; writing the same graph always produces the same bytes, so
+//! snapshot files can be byte-compared in CI. The full byte-for-byte specification
+//! lives in `docs/pcsr-format.md`; the layout is:
+//!
+//! ```text
+//! offset  size                 contents
+//! 0       4                    magic "PCSR"
+//! 4       4                    format version, u32 LE (currently 1)
+//! 8       8                    num_vertices, u64 LE
+//! 16      8                    num_edges, u64 LE
+//! 24      8                    FNV-1a 64 checksum of bytes 0..24, u64 LE
+//! 32      (V+1)*8              row_offsets, u64 LE each
+//! ..      8                    FNV-1a 64 checksum of the row_offsets bytes
+//! ..      E*4                  col_indices, u32 LE each
+//! ..      8                    FNV-1a 64 checksum of the col_indices bytes
+//! ..      E*4                  weights, u32 LE each
+//! ..      8                    FNV-1a 64 checksum of the weights bytes
+//! EOF                          (trailing bytes are an error)
+//! ```
+//!
+//! The reader verifies every checksum and then routes the arrays through
+//! [`Csr::try_from_raw`], so a corrupt or hand-edited snapshot fails with a typed
+//! [`IoError`] — never a panic, never a silently wrong graph.
+
+use crate::error::IoError;
+use crate::hash::Fnv64;
+use piccolo_graph::Csr;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic, the first four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"PCSR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Cap on the vertex/edge counts a header may declare (2^40). Headers are
+/// checksummed, so this only guards against truly pathological hand-written files
+/// asking the reader to allocate petabytes.
+const MAX_COUNT: u64 = 1 << 40;
+
+/// Serializes `graph` into `w` in the layout above. The output is deterministic:
+/// identical graphs produce identical bytes.
+pub fn write_pcsr<W: Write>(mut w: W, graph: &Csr) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(24);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
+    header.extend_from_slice(&graph.num_edges().to_le_bytes());
+    let mut hasher = Fnv64::new();
+    hasher.update(&header);
+    header.extend_from_slice(&hasher.finish().to_le_bytes());
+    w.write_all(&header)?;
+
+    write_section(&mut w, graph.row_offsets().iter().map(|v| v.to_le_bytes()))?;
+    write_section(&mut w, graph.col_indices().iter().map(|v| v.to_le_bytes()))?;
+    write_section(&mut w, graph.weights().iter().map(|v| v.to_le_bytes()))?;
+    Ok(())
+}
+
+/// Streams one checksummed section: the element bytes, then the FNV-1a of exactly
+/// those bytes.
+fn write_section<W: Write, const N: usize>(
+    w: &mut W,
+    elems: impl Iterator<Item = [u8; N]>,
+) -> std::io::Result<()> {
+    let mut hasher = Fnv64::new();
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for bytes in elems {
+        buf.extend_from_slice(&bytes);
+        if buf.len() >= 64 * 1024 {
+            hasher.update(&buf);
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    hasher.update(&buf);
+    w.write_all(&buf)?;
+    w.write_all(&hasher.finish().to_le_bytes())?;
+    Ok(())
+}
+
+/// Writes `graph` to `path` (buffered), creating or truncating the file.
+pub fn save_pcsr(path: &Path, graph: &Csr) -> Result<(), IoError> {
+    let file = std::fs::File::create(path).map_err(|e| IoError::io(path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    write_pcsr(&mut w, graph).map_err(|e| IoError::io(path, e))?;
+    w.flush().map_err(|e| IoError::io(path, e))
+}
+
+/// Reads and fully validates a snapshot from `r`; `origin` labels error messages.
+pub fn read_pcsr<R: Read>(mut r: R, origin: &Path) -> Result<Csr, IoError> {
+    let mut header = [0u8; 32];
+    r.read_exact(&mut header)
+        .map_err(|_| IoError::format(origin, "truncated header (need 32 bytes)"))?;
+    if header[0..4] != MAGIC {
+        return Err(IoError::format(origin, "bad magic (not a .pcsr file)"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(IoError::format(
+            origin,
+            format!("unsupported version {version} (this reader understands {VERSION})"),
+        ));
+    }
+    let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let stored = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let mut hasher = Fnv64::new();
+    hasher.update(&header[0..24]);
+    if hasher.finish() != stored {
+        return Err(IoError::format(origin, "header checksum mismatch"));
+    }
+    if num_vertices > u32::MAX as u64 {
+        return Err(IoError::format(
+            origin,
+            format!("vertex count {num_vertices} exceeds the u32 id space"),
+        ));
+    }
+    if num_vertices >= MAX_COUNT || num_edges >= MAX_COUNT {
+        return Err(IoError::format(origin, "implausible header counts"));
+    }
+
+    let row_offsets: Vec<u64> = read_section(
+        &mut r,
+        num_vertices as usize + 1,
+        origin,
+        "row_offsets",
+        u64::from_le_bytes,
+    )?;
+    let col_indices: Vec<u32> = read_section(
+        &mut r,
+        num_edges as usize,
+        origin,
+        "col_indices",
+        u32::from_le_bytes,
+    )?;
+    let weights: Vec<u32> = read_section(
+        &mut r,
+        num_edges as usize,
+        origin,
+        "weights",
+        u32::from_le_bytes,
+    )?;
+
+    let mut trailing = [0u8; 1];
+    match r.read(&mut trailing) {
+        Ok(0) => {}
+        Ok(_) => {
+            return Err(IoError::format(
+                origin,
+                "trailing bytes after the weights section",
+            ))
+        }
+        Err(e) => return Err(IoError::io(origin, e)),
+    }
+
+    Csr::try_from_raw(row_offsets, col_indices, weights).map_err(|e| IoError::graph(origin, e))
+}
+
+/// Reads one checksummed section of `count` fixed-width elements.
+fn read_section<R: Read, T, const N: usize>(
+    r: &mut R,
+    count: usize,
+    origin: &Path,
+    name: &str,
+    decode: impl Fn([u8; N]) -> T,
+) -> Result<Vec<T>, IoError> {
+    // Clamp the up-front reservation: header counts are attacker-controlled (FNV has
+    // no key, so a forged header can carry a valid checksum), and a count just under
+    // MAX_COUNT must hit the truncated-section error below — not an allocation abort.
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    let mut hasher = Fnv64::new();
+    let mut buf = vec![0u8; 64 * 1024 - (64 * 1024 % N)];
+    let mut remaining = count * N;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        r.read_exact(&mut buf[..take])
+            .map_err(|_| IoError::format(origin, format!("truncated {name} section")))?;
+        hasher.update(&buf[..take]);
+        for chunk in buf[..take].chunks_exact(N) {
+            out.push(decode(chunk.try_into().unwrap()));
+        }
+        remaining -= take;
+    }
+    let mut stored = [0u8; 8];
+    r.read_exact(&mut stored)
+        .map_err(|_| IoError::format(origin, format!("truncated {name} checksum")))?;
+    if hasher.finish() != u64::from_le_bytes(stored) {
+        return Err(IoError::format(origin, format!("{name} checksum mismatch")));
+    }
+    Ok(out)
+}
+
+/// Opens and reads a snapshot file.
+pub fn load_pcsr(path: &Path) -> Result<Csr, IoError> {
+    let file = std::fs::File::open(path).map_err(|e| IoError::io(path, e))?;
+    read_pcsr(std::io::BufReader::new(file), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piccolo_graph::generate;
+    use std::path::PathBuf;
+
+    fn origin() -> PathBuf {
+        PathBuf::from("test.pcsr")
+    }
+
+    fn bytes_of(g: &Csr) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_pcsr(&mut out, g).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip_is_identity_and_deterministic() {
+        let g = generate::kronecker(10, 6, 5);
+        let bytes = bytes_of(&g);
+        assert_eq!(bytes, bytes_of(&g), "serialization must be deterministic");
+        let back = read_pcsr(&bytes[..], &origin()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Csr::try_from_raw(vec![0], vec![], vec![]).unwrap();
+        let back = read_pcsr(&bytes_of(&g)[..], &origin()).unwrap();
+        assert_eq!(back.num_vertices(), 0);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let g = generate::uniform(100, 400, 3);
+        let good = bytes_of(&g);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(read_pcsr(&bad_magic[..], &origin()).is_err());
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(read_pcsr(&bad_version[..], &origin()).is_err());
+
+        // Truncations at every section boundary fail cleanly.
+        for cut in [10, 31, 40, good.len() - 1] {
+            assert!(
+                read_pcsr(&good[..cut], &origin()).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(read_pcsr(&padded[..], &origin()).is_err());
+    }
+
+    #[test]
+    fn rejects_checksum_and_payload_corruption() {
+        let g = generate::uniform(64, 256, 9);
+        let good = bytes_of(&g);
+        // Flip one byte in every region: header counts, offsets, cols, weights.
+        for pos in [9, 40, good.len() / 2, good.len() - 12] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0xff;
+            let err = read_pcsr(&bad[..], &origin()).expect_err("corruption must be detected");
+            let msg = format!("{err}");
+            assert!(
+                msg.contains("checksum") || msg.contains("inconsistent") || msg.contains("counts"),
+                "pos {pos}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_header_with_valid_checksum_fails_without_huge_allocation() {
+        // FNV is keyless, so a hand-written header can always carry a "valid"
+        // checksum. A count just under MAX_COUNT must fail on section truncation,
+        // not abort the process trying to reserve terabytes.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&1024u64.to_le_bytes());
+        header.extend_from_slice(&(1u64 << 39).to_le_bytes()); // 2^39 "edges"
+        let mut h = Fnv64::new();
+        h.update(&header);
+        header.extend_from_slice(&h.finish().to_le_bytes());
+        let err = read_pcsr(&header[..], &origin()).expect_err("must fail cleanly");
+        assert!(format!("{err}").contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_implausible_counts_before_allocating() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&u64::MAX.to_le_bytes());
+        header.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut h = Fnv64::new();
+        h.update(&header);
+        header.extend_from_slice(&h.finish().to_le_bytes());
+        assert!(read_pcsr(&header[..], &origin()).is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! Streaming text parsers: plain edge lists, SNAP-style TSV, MatrixMarket coordinate.
+//!
+//! All three parsers read line-by-line through a reused buffer, so only the edge vector
+//! — never the text — is materialized in memory. Malformed input fails with an
+//! [`IoError::Parse`] carrying the 1-based line (and field) position.
+//!
+//! Unweighted edges receive a deterministic pseudo-random weight in `0..=255` derived
+//! from the endpoint pair (SplitMix64 finalizer), mirroring the paper's rule of
+//! assigning random byte weights to originally-unweighted graphs while staying
+//! reproducible across runs, machines and line orderings.
+
+use crate::error::IoError;
+use piccolo_graph::{Edge, EdgeList, VertexId, Weight};
+use std::io::BufRead;
+use std::path::Path;
+
+/// The text formats the ingestion layer understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextFormat {
+    /// Plain whitespace-separated `src dst [weight]` lines; `#`/`%` lines are comments.
+    EdgeList,
+    /// SNAP-style TSV: `#`-prefixed header comments, tab- or space-separated
+    /// `src dst [weight]` rows. Parses identically to [`TextFormat::EdgeList`]; the
+    /// variant exists so detection and tooling can name the source convention.
+    SnapTsv,
+    /// MatrixMarket `coordinate` format: `%%MatrixMarket matrix coordinate
+    /// <pattern|integer|real> <general|symmetric>` header, `%` comments, a
+    /// `rows cols nnz` size line, then 1-based `i j [value]` entries.
+    MatrixMarket,
+}
+
+impl TextFormat {
+    /// All formats, for tooling that enumerates them.
+    pub const ALL: [TextFormat; 3] = [
+        TextFormat::EdgeList,
+        TextFormat::SnapTsv,
+        TextFormat::MatrixMarket,
+    ];
+
+    /// Short machine-readable name (`edgelist`, `snap`, `mtx`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TextFormat::EdgeList => "edgelist",
+            TextFormat::SnapTsv => "snap",
+            TextFormat::MatrixMarket => "mtx",
+        }
+    }
+
+    /// Parses a format name as accepted by `graphtool --format` and the drivers.
+    pub fn parse_name(name: &str) -> Option<TextFormat> {
+        match name {
+            "edgelist" | "el" | "txt" => Some(TextFormat::EdgeList),
+            "snap" | "tsv" => Some(TextFormat::SnapTsv),
+            "mtx" | "matrixmarket" => Some(TextFormat::MatrixMarket),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from a file extension (`.mtx`, `.tsv`/`.snap`, everything
+    /// else defaults to the plain edge list, which also accepts SNAP files).
+    pub fn from_path(path: &Path) -> TextFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("mtx") => TextFormat::MatrixMarket,
+            Some("tsv") | Some("snap") => TextFormat::SnapTsv,
+            _ => TextFormat::EdgeList,
+        }
+    }
+}
+
+impl std::fmt::Display for TextFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic default weight in `0..=255` for an unweighted edge: a SplitMix64
+/// finalizer over the packed endpoint pair, so the weight depends only on `(src, dst)`
+/// — not on line order, file format or load count.
+pub fn default_weight(src: VertexId, dst: VertexId) -> Weight {
+    let mut z = (((src as u64) << 32) | dst as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) & 0xff) as Weight
+}
+
+/// Opens `path` and parses it as `format`, streaming the text through a buffered
+/// reader. The vertex count is the maximum endpoint + 1 (or the declared dimension for
+/// MatrixMarket).
+pub fn load_text(path: &Path, format: TextFormat) -> Result<EdgeList, IoError> {
+    let file = std::fs::File::open(path).map_err(|e| IoError::io(path, e))?;
+    read_text(std::io::BufReader::new(file), format, path)
+}
+
+/// Parses an already-open reader as `format`; `origin` labels error messages.
+pub fn read_text<R: BufRead>(
+    mut reader: R,
+    format: TextFormat,
+    origin: &Path,
+) -> Result<EdgeList, IoError> {
+    match format {
+        TextFormat::EdgeList | TextFormat::SnapTsv => read_edge_lines(&mut reader, origin),
+        TextFormat::MatrixMarket => read_matrix_market(&mut reader, origin),
+    }
+}
+
+fn parse_vertex(field: &str, origin: &Path, line: u64, col: u64) -> Result<VertexId, IoError> {
+    field.parse::<VertexId>().map_err(|_| {
+        IoError::parse(
+            origin,
+            line,
+            Some(col),
+            format!("invalid vertex id '{field}' (expected an integer in 0..2^32-1)"),
+        )
+    })
+}
+
+fn parse_weight(field: &str, origin: &Path, line: u64, col: u64) -> Result<Weight, IoError> {
+    field.parse::<Weight>().map_err(|_| {
+        IoError::parse(
+            origin,
+            line,
+            Some(col),
+            format!("invalid weight '{field}' (expected a non-negative integer < 2^32)"),
+        )
+    })
+}
+
+/// Shared reader for the plain and SNAP edge-list formats.
+fn read_edge_lines<R: BufRead>(reader: &mut R, origin: &Path) -> Result<EdgeList, IoError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_vertex: u64 = 0; // max endpoint + 1
+    let mut buf = String::new();
+    let mut line_no: u64 = 0;
+    loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| IoError::io(origin, e))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let src = parse_vertex(fields.next().unwrap(), origin, line_no, 1)?;
+        let dst = match fields.next() {
+            Some(f) => parse_vertex(f, origin, line_no, 2)?,
+            None => {
+                return Err(IoError::parse(
+                    origin,
+                    line_no,
+                    None,
+                    "expected 'src dst [weight]', got 1 field",
+                ))
+            }
+        };
+        let weight = match fields.next() {
+            Some(f) => parse_weight(f, origin, line_no, 3)?,
+            None => default_weight(src, dst),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(IoError::parse(
+                origin,
+                line_no,
+                Some(4),
+                format!("unexpected trailing field '{extra}' (expected 'src dst [weight]')"),
+            ));
+        }
+        max_vertex = max_vertex.max(src as u64 + 1).max(dst as u64 + 1);
+        edges.push(Edge::new(src, dst, weight));
+    }
+    if max_vertex > VertexId::MAX as u64 {
+        return Err(IoError::parse(
+            origin,
+            line_no,
+            None,
+            format!("vertex count {max_vertex} exceeds the u32 id space"),
+        ));
+    }
+    EdgeList::try_from_edges(max_vertex as u32, edges).map_err(|e| IoError::graph(origin, e))
+}
+
+/// Value kind declared by a MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MtxField {
+    Pattern,
+    Integer,
+    Real,
+}
+
+fn read_matrix_market<R: BufRead>(reader: &mut R, origin: &Path) -> Result<EdgeList, IoError> {
+    let mut buf = String::new();
+    let mut line_no: u64 = 0;
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let n = reader
+        .read_line(&mut buf)
+        .map_err(|e| IoError::io(origin, e))?;
+    line_no += 1;
+    if n == 0 {
+        return Err(IoError::parse(origin, 1, None, "empty file"));
+    }
+    let header: Vec<&str> = buf.trim().split_ascii_whitespace().collect();
+    if header.first().map(|h| h.to_ascii_lowercase()) != Some("%%matrixmarket".to_string()) {
+        return Err(IoError::parse(
+            origin,
+            1,
+            Some(1),
+            "expected a '%%MatrixMarket' banner",
+        ));
+    }
+    if header.len() != 5 || !header[1].eq_ignore_ascii_case("matrix") {
+        return Err(IoError::parse(
+            origin,
+            1,
+            None,
+            "expected '%%MatrixMarket matrix coordinate <field> <symmetry>'",
+        ));
+    }
+    if !header[2].eq_ignore_ascii_case("coordinate") {
+        return Err(IoError::parse(
+            origin,
+            1,
+            Some(3),
+            format!("unsupported layout '{}' (only 'coordinate')", header[2]),
+        ));
+    }
+    let field = match header[3].to_ascii_lowercase().as_str() {
+        "pattern" => MtxField::Pattern,
+        "integer" => MtxField::Integer,
+        "real" => MtxField::Real,
+        other => {
+            return Err(IoError::parse(
+                origin,
+                1,
+                Some(4),
+                format!("unsupported value type '{other}' (pattern, integer or real)"),
+            ))
+        }
+    };
+    let symmetric = match header[4].to_ascii_lowercase().as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(IoError::parse(
+                origin,
+                1,
+                Some(5),
+                format!("unsupported symmetry '{other}' (general or symmetric)"),
+            ))
+        }
+    };
+
+    // Size line: rows cols nnz (after % comments).
+    let (rows, cols, nnz) = loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| IoError::io(origin, e))?;
+        if n == 0 {
+            return Err(IoError::parse(
+                origin,
+                line_no,
+                None,
+                "missing 'rows cols nnz' size line",
+            ));
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(IoError::parse(
+                origin,
+                line_no,
+                None,
+                format!("expected 'rows cols nnz', got {} field(s)", fields.len()),
+            ));
+        }
+        let mut dims = [0u64; 3];
+        for (i, f) in fields.iter().enumerate() {
+            dims[i] = f.parse::<u64>().map_err(|_| {
+                IoError::parse(
+                    origin,
+                    line_no,
+                    Some(i as u64 + 1),
+                    format!("invalid count '{f}' (expected a non-negative integer)"),
+                )
+            })?;
+        }
+        break (dims[0], dims[1], dims[2]);
+    };
+    let num_vertices = rows.max(cols);
+    if num_vertices > VertexId::MAX as u64 {
+        return Err(IoError::parse(
+            origin,
+            line_no,
+            None,
+            format!("dimension {num_vertices} exceeds the u32 id space"),
+        ));
+    }
+
+    // Entries: nnz lines of `i j [value]`, 1-based.
+    let mut edges: Vec<Edge> = Vec::with_capacity(nnz.min(1 << 24) as usize);
+    let mut seen: u64 = 0;
+    loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| IoError::io(origin, e))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        seen += 1;
+        if seen > nnz {
+            return Err(IoError::parse(
+                origin,
+                line_no,
+                None,
+                format!("more than the declared {nnz} entries"),
+            ));
+        }
+        let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+        let expected = if field == MtxField::Pattern { 2 } else { 3 };
+        if fields.len() != expected {
+            return Err(IoError::parse(
+                origin,
+                line_no,
+                None,
+                format!("expected {expected} field(s), got {}", fields.len()),
+            ));
+        }
+        let endpoint = |idx: usize, bound: u64| -> Result<VertexId, IoError> {
+            let raw = fields[idx].parse::<u64>().map_err(|_| {
+                IoError::parse(
+                    origin,
+                    line_no,
+                    Some(idx as u64 + 1),
+                    format!(
+                        "invalid index '{}' (expected a positive integer)",
+                        fields[idx]
+                    ),
+                )
+            })?;
+            if raw == 0 || raw > bound {
+                return Err(IoError::parse(
+                    origin,
+                    line_no,
+                    Some(idx as u64 + 1),
+                    format!("index {raw} out of range 1..={bound}"),
+                ));
+            }
+            Ok((raw - 1) as VertexId)
+        };
+        let src = endpoint(0, rows)?;
+        let dst = endpoint(1, cols)?;
+        let weight = match field {
+            MtxField::Pattern => default_weight(src, dst),
+            MtxField::Integer => parse_weight(fields[2], origin, line_no, 3)?,
+            MtxField::Real => {
+                let v = fields[2].parse::<f64>().map_err(|_| {
+                    IoError::parse(
+                        origin,
+                        line_no,
+                        Some(3),
+                        format!("invalid value '{}'", fields[2]),
+                    )
+                })?;
+                if !v.is_finite() || v < 0.0 || v > Weight::MAX as f64 {
+                    return Err(IoError::parse(
+                        origin,
+                        line_no,
+                        Some(3),
+                        format!("value {v} out of the representable weight range"),
+                    ));
+                }
+                v.round() as Weight
+            }
+        };
+        edges.push(Edge::new(src, dst, weight));
+        if symmetric && src != dst {
+            edges.push(Edge::new(dst, src, weight));
+        }
+    }
+    if seen < nnz {
+        return Err(IoError::parse(
+            origin,
+            line_no,
+            None,
+            format!("truncated: header declares {nnz} entries, found {seen}"),
+        ));
+    }
+    EdgeList::try_from_edges(num_vertices as u32, edges).map_err(|e| IoError::graph(origin, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn origin() -> PathBuf {
+        PathBuf::from("test-input")
+    }
+
+    fn parse(text: &str, format: TextFormat) -> Result<EdgeList, IoError> {
+        read_text(Cursor::new(text), format, &origin())
+    }
+
+    #[test]
+    fn plain_edge_list_with_and_without_weights() {
+        let el = parse("0 1 10\n2 0\n# comment\n\n1 2 7\n", TextFormat::EdgeList).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.edges()[0], Edge::new(0, 1, 10));
+        assert_eq!(el.edges()[1].weight, default_weight(2, 0));
+    }
+
+    #[test]
+    fn snap_tsv_skips_hash_comments() {
+        let text = "# Directed graph\n# Nodes: 3 Edges: 2\n0\t1\n1\t2\n";
+        let el = parse(text, TextFormat::SnapTsv).unwrap();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.num_vertices(), 3);
+    }
+
+    #[test]
+    fn matrix_market_general_integer() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    % a comment\n3 3 2\n1 2 5\n3 1 9\n";
+        let el = parse(text, TextFormat::MatrixMarket).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges()[0], Edge::new(0, 1, 5));
+        assert_eq!(el.edges()[1], Edge::new(2, 0, 9));
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern_mirrors_edges() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let el = parse(text, TextFormat::MatrixMarket).unwrap();
+        // (2,1) mirrors to (1,2); the diagonal (3,3) does not.
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.edges()[0].weight, el.edges()[1].weight);
+    }
+
+    #[test]
+    fn matrix_market_real_rounds() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.7\n";
+        let el = parse(text, TextFormat::MatrixMarket).unwrap();
+        assert_eq!(el.edges()[0].weight, 4);
+    }
+
+    #[test]
+    fn errors_carry_line_and_field_context() {
+        let err = parse("0 1\nx 2\n", TextFormat::EdgeList).unwrap_err();
+        match err {
+            IoError::Parse { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, Some(1));
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
+        assert!(format!("{}", parse("0", TextFormat::EdgeList).unwrap_err()).contains(":1:"));
+    }
+
+    #[test]
+    fn rejects_malformed_matrix_market() {
+        // Not a MatrixMarket banner.
+        assert!(parse("0 1\n", TextFormat::MatrixMarket).is_err());
+        // Truncated: fewer entries than declared.
+        let trunc = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n";
+        let err = parse(trunc, TextFormat::MatrixMarket).unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+        // Out-of-range 1-based index.
+        let oob = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n4 1\n";
+        assert!(parse(oob, TextFormat::MatrixMarket).is_err());
+        // Zero is out of range in a 1-based format.
+        let zero = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n0 1\n";
+        assert!(parse(zero, TextFormat::MatrixMarket).is_err());
+        // Negative counts are rejected.
+        let neg = "%%MatrixMarket matrix coordinate pattern general\n3 3 -1\n";
+        assert!(parse(neg, TextFormat::MatrixMarket).is_err());
+        // Extra entries beyond nnz are rejected.
+        let extra = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n";
+        assert!(parse(extra, TextFormat::MatrixMarket).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_overflowing_ids() {
+        assert!(parse("-1 2\n", TextFormat::EdgeList).is_err());
+        assert!(parse("0 4294967296\n", TextFormat::EdgeList).is_err());
+        assert!(parse("0 1 -3\n", TextFormat::EdgeList).is_err());
+        assert!(parse("0 1 2 3\n", TextFormat::EdgeList).is_err());
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in TextFormat::ALL {
+            assert_eq!(TextFormat::parse_name(f.name()), Some(f));
+            assert_eq!(format!("{f}"), f.name());
+        }
+        assert_eq!(TextFormat::parse_name("bogus"), None);
+        assert_eq!(
+            TextFormat::from_path(Path::new("a/b.mtx")),
+            TextFormat::MatrixMarket
+        );
+        assert_eq!(
+            TextFormat::from_path(Path::new("a/b.tsv")),
+            TextFormat::SnapTsv
+        );
+        assert_eq!(
+            TextFormat::from_path(Path::new("a/b.txt")),
+            TextFormat::EdgeList
+        );
+    }
+
+    #[test]
+    fn default_weight_is_deterministic_and_byte_sized() {
+        for (s, d) in [(0u32, 1u32), (7, 7), (123_456, 654_321)] {
+            let w = default_weight(s, d);
+            assert_eq!(w, default_weight(s, d));
+            assert!(w <= 255);
+        }
+        assert_ne!(default_weight(0, 1), default_weight(1, 0));
+    }
+}

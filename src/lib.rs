@@ -1,6 +1,10 @@
 //! Workspace-level umbrella crate: re-exports the public API of the Piccolo reproduction
 //! for the examples and integration tests at the repository root.
 //!
+//! The workspace crates are available directly (`piccolo`, `piccolo_graph`,
+//! `piccolo_algo`, `piccolo_io`, ...); see `examples/external_dataset.rs` for the
+//! real-graph ingestion path end to end.
+//!
 //! # Example
 //!
 //! ```
