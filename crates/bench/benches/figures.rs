@@ -15,16 +15,21 @@
 //! cargo bench -- fig10                          # filter by name substring
 //! cargo bench -- --quick --jobs 2               # 2 samples, 2 workers
 //! cargo bench -- --json BENCH.json --check crates/bench/baselines.json
+//! cargo bench -- --external web=web.tsv        # bench a real graph (external figure)
 //! ```
 //!
 //! (`--check` exits non-zero if any tracked speedup falls below its floor; CI's
-//! bench-smoke job runs exactly that.)
+//! bench-smoke job runs exactly that. `--external NAME=PATH`, repeatable, loads real
+//! graphs through the `piccolo-io` snapshot cache and appends the `external` figure —
+//! PR+BFS on both engines — so external graphs get `BENCH.json` rows and their
+//! `external/gm_{vc,ec}_piccolo` metrics can carry `baselines.json` floors.)
 
 use piccolo::experiments::{self, Scale};
 use piccolo::sweep::{ExperimentSpec, SweepRunner};
 use piccolo_algo::Algorithm;
 use piccolo_bench::{bench_json, check_floors, speedup_metrics, FigureBench};
 use piccolo_graph::Dataset;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn tiny() -> Scale {
@@ -104,11 +109,27 @@ fn main() {
     let mut jobs: usize = 1; // timing defaults to the sequential reference path
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut externals: Vec<(String, String)> = Vec::new();
+    let mut snapshot_dir: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--external" => match it.next().map(|v| v.split_once('=')) {
+                Some(Some((name, path))) if !name.is_empty() && !path.is_empty() => {
+                    if externals.iter().any(|(n, _)| n == name) {
+                        fail(&format!("duplicate external name '{name}'"));
+                    }
+                    externals.push((name.to_string(), path.to_string()));
+                }
+                Some(_) => fail("--external expects NAME=PATH"),
+                None => fail("--external needs a NAME=PATH value"),
+            },
+            "--snapshot-dir" => match it.next() {
+                Some(v) => snapshot_dir = Some(PathBuf::from(v)),
+                None => fail("--snapshot-dir needs a path"),
+            },
             "--jobs" => match it.next() {
                 Some(v) => {
                     jobs = v
@@ -137,7 +158,38 @@ fn main() {
     let mut benched: Vec<FigureBench> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
-    let specs: Vec<ExperimentSpec> = bench_specs()
+    // External graphs join the bench set as the `external` figure (PR+BFS, both
+    // engines, via `experiments::external_spec`), subject to the same name filter —
+    // `cargo bench -- --external web=web.tsv external` benches only the real graph.
+    // Anchor a relative --snapshot-dir at the workspace root (not the cwd cargo bench
+    // sets, crates/bench), so `repro --snapshot-dir snaps` and the bench share a cache.
+    let snapshot_dir = match snapshot_dir {
+        Some(dir) if dir.is_relative() => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(dir),
+        Some(dir) => dir,
+        None => piccolo_io::default_snapshot_dir(),
+    };
+    // Skip the (potentially huge) load entirely when the name filter would drop the
+    // external figure anyway — no point parsing gigabytes to discard the spec.
+    let wants_external =
+        filter.is_empty() || filter.iter().any(|p| "external".contains(p.as_str()));
+    let external_datasets = if wants_external {
+        // `cargo bench` runs with cwd = crates/bench; resolve graph paths like
+        // `--check` does (cwd, then the bench crate, then the workspace root).
+        let resolved: Vec<(String, std::path::PathBuf)> = externals
+            .iter()
+            .map(|(name, path)| (name.clone(), resolve_input(path)))
+            .collect();
+        piccolo_bench::load_externals(&resolved, &snapshot_dir).unwrap_or_else(|e| fail(&e))
+    } else {
+        Vec::new()
+    };
+    let mut all_specs = bench_specs();
+    if !external_datasets.is_empty() {
+        all_specs.push(experiments::external_spec(tiny(), &external_datasets));
+    }
+    let specs: Vec<ExperimentSpec> = all_specs
         .into_iter()
         .filter(|spec| filter.is_empty() || filter.iter().any(|p| spec.name().contains(p.as_str())))
         .collect();

@@ -1,7 +1,8 @@
 //! Reproduces the paper's tables and figures and prints their rows.
 //!
 //! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]
-//! [--external NAME=PATH ...] [--snapshot-dir DIR]`
+//! [--external NAME=PATH ...] [--snapshot-dir DIR]
+//! [--shard I/N | --merge SHARD.json... | --resume JOURNAL]`
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default when no
 //! `--external` is given).
@@ -11,8 +12,21 @@
 //! threads (default: all cores, `--jobs 1` forces the sequential reference path), and
 //! each distinct graph is built exactly once across the whole run. Output — both the
 //! printed rows and the optional `results.json` — is bit-identical for every worker
-//! count; CI diffs the two to enforce it. Scheduling stats (graphs built vs saved,
+//! count; CI diffs the outputs to enforce it. Scheduling stats (graphs built vs saved,
 //! wall-clock) go to stderr as well, so they stay visible when stdout is redirected.
+//!
+//! Beyond threads, a campaign also splits across **OS processes** and **invocations**
+//! (`docs/results-schema.md` documents the file formats):
+//!
+//! * `--shard I/N` executes only the grid slots with `unit_index % N == I` and writes
+//!   a `piccolo-results-shard/v1` document (default `results.shard-I-of-N.json`);
+//!   every shard still builds exactly the graphs its own units need.
+//! * `--merge A.json B.json ...` validates a complete shard set (matching plan hash
+//!   for *this* invocation's figures and scale), merges the grid, evaluates derived
+//!   rows once, and writes a `results.json` byte-identical to an unsharded run.
+//! * `--resume JOURNAL` journals one checksummed line per completed unit and, on
+//!   re-invocation, replays verified entries instead of re-running them — a killed
+//!   campaign finishes in the time of its missing units, with identical bytes.
 //!
 //! `--external NAME=PATH` (repeatable) loads a real graph — plain edge list, SNAP TSV,
 //! MatrixMarket or an existing `.pcsr` snapshot — through the `piccolo-io` snapshot
@@ -21,40 +35,63 @@
 //! `external` figure runs. Each load reports `snapshot cache hit|miss` (or `direct`
 //! for `.pcsr` inputs) on stderr; the second run of the same file always hits.
 
+use piccolo::campaign::{merge_shards, CampaignStats, Shard};
 use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
-use piccolo::report::results_json;
+use piccolo::report::{results_json, FigureRows};
 use piccolo::sweep::SweepRunner;
-use piccolo_graph::Dataset;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
         "usage: repro [figure ...] [--quick|--full] [--jobs N] [--out results.json] \
-         [--external NAME=PATH ...] [--snapshot-dir DIR]"
+         [--external NAME=PATH ...] [--snapshot-dir DIR] \
+         [--shard I/N | --merge SHARD.json... | --resume JOURNAL]"
     );
     std::process::exit(2);
 }
 
-/// Loads every `--external NAME=PATH` through the snapshot cache, registers it, and
-/// returns the dataset handles in CLI order (so ids and output are deterministic).
-fn load_externals(externals: &[(String, String)], snapshot_dir: &Path) -> Vec<Dataset> {
-    let mut datasets = Vec::new();
-    for (name, path) in externals {
-        let loaded = piccolo_io::load_graph_with(Path::new(path), None, snapshot_dir)
-            .unwrap_or_else(|e| fail(&format!("cannot load external graph '{name}': {e}")));
-        if loaded.graph.num_vertices() == 0 {
-            fail(&format!("external graph '{name}' ({path}) is empty"));
+/// Prints figure rows and the closing summary table.
+fn print_figures(figures: &[FigureRows]) {
+    for figure in figures {
+        println!("== {} ==", figure.title);
+        for p in &figure.points {
+            println!("{p}");
         }
-        eprintln!(
-            "external '{name}': {path} ({} vertices, {} edges) snapshot cache {}",
-            loaded.graph.num_vertices(),
-            loaded.graph.num_edges(),
-            loaded.status
-        );
-        datasets.push(piccolo_graph::external::register(name, loaded.graph));
+        println!();
     }
-    datasets
+    println!("== Summary ==");
+    println!("{:<40} {:>12}", "figure", "rows");
+    for f in figures {
+        println!("{:<40} {:>12}", f.title, f.points.len());
+    }
+}
+
+/// Formats the campaign scheduling stats line printed to stdout *and* stderr (CI
+/// redirects stdout to /dev/null; the stats must stay visible in its logs).
+fn stats_line(stats: &CampaignStats, jobs: usize, scale: Scale, secs: f64) -> String {
+    format!(
+        "campaign: {} figure(s), {} sim run(s), {} measure unit(s); \
+         {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling, \
+         {} evicted when their last consumer finished; \
+         {} worker(s), scale shift {}, {secs:.1} s",
+        stats.figures,
+        stats.sim_runs,
+        stats.measure_units,
+        stats.graphs_built,
+        stats.builds_saved,
+        stats.graphs_evicted,
+        jobs,
+        scale.scale_shift,
+    )
+}
+
+fn write_out(path: &str, doc: &str) {
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("repro: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
 }
 
 fn main() {
@@ -65,9 +102,12 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut externals: Vec<(String, String)> = Vec::new();
     let mut snapshot_dir: Option<PathBuf> = None;
+    let mut shard: Option<Shard> = None;
+    let mut merge_paths: Vec<String> = Vec::new();
+    let mut resume_path: Option<PathBuf> = None;
 
     // Space-separated flag values only (`--jobs 4`), matching the bench harness.
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -98,9 +138,43 @@ fn main() {
                 Some(v) => snapshot_dir = Some(PathBuf::from(v)),
                 None => fail("--snapshot-dir needs a path"),
             },
+            "--shard" => match it.next() {
+                Some(v) => {
+                    if shard.is_some() {
+                        fail("--shard given twice");
+                    }
+                    shard = Some(Shard::parse(v).unwrap_or_else(|e| fail(&e)));
+                }
+                None => fail("--shard needs an I/N value"),
+            },
+            "--merge" => {
+                // Greedy: every following token up to the next flag is a shard file.
+                while let Some(v) = it.peek() {
+                    if v.starts_with("--") {
+                        break;
+                    }
+                    merge_paths.push(it.next().unwrap().clone());
+                }
+                if merge_paths.is_empty() {
+                    fail("--merge needs at least one shard file");
+                }
+            }
+            "--resume" => match it.next() {
+                Some(v) => resume_path = Some(PathBuf::from(v)),
+                None => fail("--resume needs a journal path"),
+            },
             other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
             other => figures.push(other.to_string()),
         }
+    }
+
+    let modes = [
+        shard.is_some(),
+        !merge_paths.is_empty(),
+        resume_path.is_some(),
+    ];
+    if modes.into_iter().filter(|&m| m).count() > 1 {
+        fail("--shard, --merge and --resume are mutually exclusive");
     }
 
     let scale = if quick {
@@ -115,7 +189,12 @@ fn main() {
     }
 
     let snapshot_dir = snapshot_dir.unwrap_or_else(piccolo_io::default_snapshot_dir);
-    let external_datasets = load_externals(&externals, &snapshot_dir);
+    let external_paths: Vec<(String, PathBuf)> = externals
+        .iter()
+        .map(|(name, path)| (name.clone(), PathBuf::from(path)))
+        .collect();
+    let external_datasets =
+        piccolo_bench::load_externals(&external_paths, &snapshot_dir).unwrap_or_else(|e| fail(&e));
 
     let runner = SweepRunner::new(jobs);
     let started = std::time::Instant::now();
@@ -127,49 +206,100 @@ fn main() {
         specs.push(external_spec(scale, &external_datasets));
     }
 
-    // One campaign over every requested figure: one global worker pool, each distinct
-    // graph built exactly once across the whole run.
-    let campaign = runner.run_campaign(&specs);
-    for figure in &campaign.figures {
-        println!("== {} ==", figure.title);
-        for p in &figure.points {
-            println!("{p}");
-        }
-        println!();
+    // --merge: no campaign runs here — validate the shard set against this
+    // invocation's plan (same figures, scale, code revision) and recombine.
+    if !merge_paths.is_empty() {
+        let docs: Vec<String> = merge_paths
+            .iter()
+            .map(|p| {
+                std::fs::read_to_string(p)
+                    .unwrap_or_else(|e| fail(&format!("cannot read shard file {p}: {e}")))
+            })
+            .collect();
+        let merged =
+            merge_shards(scale, &specs, &docs).unwrap_or_else(|e| fail(&format!("merge: {e}")));
+        print_figures(&merged);
+        let doc = results_json(scale, &merged);
+        write_out(out_path.as_deref().unwrap_or("results.json"), &doc);
+        let line = format!(
+            "merged {} shard file(s) into {} figure(s), {:.1} s",
+            merge_paths.len(),
+            merged.len(),
+            started.elapsed().as_secs_f64()
+        );
+        println!("{line}");
+        eprintln!("{line}");
+        return;
     }
+
+    // --shard: execute this process's projection of the grid and write the shard
+    // document; derived rows need the whole grid, so figures are printed by --merge.
+    if let Some(shard) = shard {
+        let run = runner.run_campaign_shard(scale, &specs, shard);
+        let default_name = format!("results.shard-{}-of-{}.json", shard.index, shard.count);
+        write_out(out_path.as_deref().unwrap_or(&default_name), &run.to_json());
+        let line = format!(
+            "shard {shard}: {} of the campaign's grid unit(s) executed; {}",
+            run.num_units(),
+            stats_line(
+                &run.stats,
+                runner.jobs(),
+                scale,
+                started.elapsed().as_secs_f64()
+            )
+        );
+        println!("{line}");
+        eprintln!("{line}");
+        return;
+    }
+
+    // One campaign over every requested figure: one global worker pool, each distinct
+    // graph built exactly once across the whole run. With --resume, completed units
+    // are replayed from / appended to the journal.
+    let (campaign, resume_note) = match &resume_path {
+        Some(journal) => {
+            let resumed = runner
+                .run_campaign_resumed(scale, &specs, journal)
+                .unwrap_or_else(|e| {
+                    fail(&format!("cannot use journal {}: {e}", journal.display()))
+                });
+            let note = format!(
+                "resume: {} unit(s) replayed from {}, {} executed this run{}",
+                resumed.replayed,
+                journal.display(),
+                resumed.executed,
+                if resumed.corrupt + resumed.mismatched > 0 {
+                    format!(
+                        " ({} corrupt line(s) and {} foreign entr(ies) ignored)",
+                        resumed.corrupt, resumed.mismatched
+                    )
+                } else {
+                    String::new()
+                }
+            );
+            (resumed.run, Some(note))
+        }
+        None => (runner.run_campaign(&specs), None),
+    };
+    print_figures(&campaign.figures);
 
     if let Some(path) = &out_path {
         let doc = results_json(scale, &campaign.figures);
-        if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("repro: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote {path}");
+        write_out(path, &doc);
     }
 
-    println!("== Summary ==");
-    println!("{:<40} {:>12}", "figure", "rows");
-    for f in &campaign.figures {
-        println!("{:<40} {:>12}", f.title, f.points.len());
-    }
-    let stats = campaign.stats;
-    let stats_line = format!(
-        "campaign: {} figure(s), {} sim run(s), {} measure unit(s); \
-         {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling, \
-         {} evicted when their last consumer finished; \
-         {} worker(s), scale shift {}, {:.1} s",
-        stats.figures,
-        stats.sim_runs,
-        stats.measure_units,
-        stats.graphs_built,
-        stats.builds_saved,
-        stats.graphs_evicted,
+    let line = stats_line(
+        &campaign.stats,
         runner.jobs(),
-        scale.scale_shift,
-        started.elapsed().as_secs_f64()
+        scale,
+        started.elapsed().as_secs_f64(),
     );
-    println!("{stats_line}");
-    // CI's parity job redirects stdout to /dev/null; keep the dedup stats visible in
-    // its logs so regressions in graph-build sharing are easy to spot.
-    eprintln!("{stats_line}");
+    println!("{line}");
+    // CI's parity jobs redirect stdout to /dev/null; keep the dedup and resume stats
+    // visible in their logs so regressions are easy to spot.
+    eprintln!("{line}");
+    if let Some(note) = resume_note {
+        println!("{note}");
+        eprintln!("{note}");
+    }
 }

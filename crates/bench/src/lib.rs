@@ -11,6 +11,39 @@
 use piccolo::campaign::CampaignStats;
 use piccolo::experiments::{geomean, Point};
 use piccolo::json::Json;
+use piccolo_graph::Dataset;
+use std::path::{Path, PathBuf};
+
+/// Loads `--external NAME=PATH` graphs (paths pre-resolved by the caller — the bench
+/// harness and `repro` resolve differently) through the `piccolo-io` snapshot cache
+/// and registers them in `piccolo_graph::external`, printing one status line per graph
+/// to stderr (`snapshot cache hit|miss|direct`, which CI greps). Returns the dataset
+/// handles in input order, so registry ids — and therefore output — are deterministic.
+pub fn load_externals(
+    externals: &[(String, PathBuf)],
+    snapshot_dir: &Path,
+) -> Result<Vec<Dataset>, String> {
+    let mut datasets = Vec::new();
+    for (name, path) in externals {
+        let loaded = piccolo_io::load_graph_with(path, None, snapshot_dir)
+            .map_err(|e| format!("cannot load external graph '{name}': {e}"))?;
+        if loaded.graph.num_vertices() == 0 {
+            return Err(format!(
+                "external graph '{name}' ({}) is empty",
+                path.display()
+            ));
+        }
+        eprintln!(
+            "external '{name}': {} ({} vertices, {} edges) snapshot cache {}",
+            path.display(),
+            loaded.graph.num_vertices(),
+            loaded.graph.num_edges(),
+            loaded.status
+        );
+        datasets.push(piccolo_graph::external::register(name, loaded.graph));
+    }
+    Ok(datasets)
+}
 
 /// Timing and rows of one benched figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +110,18 @@ pub fn speedup_metrics(figure: &str, points: &[Point]) -> Vec<(String, f64)> {
         }
         // OLAP column scans.
         "fig19b" => gm_of(points, "fig19b/gm_olap", |_| true),
+        // External graphs (`--external NAME=PATH`): Piccolo vs the vertex-centric
+        // conventional baseline on both engines, so real datasets can carry
+        // `baselines.json` floors just like the paper figures.
+        "external" => {
+            let mut m = gm_of(points, "external/gm_vc_piccolo", |l| {
+                l.ends_with("/VC/Piccolo")
+            });
+            m.extend(gm_of(points, "external/gm_ec_piccolo", |l| {
+                l.ends_with("/EC/Piccolo")
+            }));
+            m
+        }
         // Enhanced-FIM sweep: plain Piccolo rows only (not "Piccolo enhanced").
         "fig20a" => gm_of(points, "fig20a/gm_piccolo", |l| l.ends_with("/Piccolo")),
         _ => Vec::new(),
@@ -203,6 +248,21 @@ mod tests {
     fn figures_without_ratios_contribute_nothing() {
         assert!(speedup_metrics("table2", &[pt("SW/paper-edges", 1.0)]).is_empty());
         assert!(speedup_metrics("fig10", &[]).is_empty());
+    }
+
+    #[test]
+    fn external_figure_tracks_both_traversal_orders() {
+        let points = [
+            pt("PR/web/VC/Piccolo", 2.0),
+            pt("BFS/web/VC/Piccolo", 8.0),
+            pt("PR/web/EC/Piccolo", 1.5),
+            pt("PR/web/VC/Conventional", 1.0),
+        ];
+        let m = speedup_metrics("external", &points);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, "external/gm_vc_piccolo");
+        assert!((m[0].1 - 4.0).abs() < 1e-12); // geomean(2, 8)
+        assert_eq!(m[1], ("external/gm_ec_piccolo".to_string(), 1.5));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Cross-figure campaign scheduler: one global work queue for many figures, building
-//! each distinct graph exactly once across the whole campaign.
+//! each distinct graph exactly once across the whole campaign — shardable across OS
+//! processes and resumable across invocations.
 //!
 //! The paper's evaluation sweeps many figure grids over the same handful of graphs. A
 //! per-figure runner rebuilds each `(dataset, scale_shift, seed)` graph once *per
@@ -9,9 +10,9 @@
 //! [`run_indexed`] pool:
 //!
 //! 1. **Graph builds are schedulable units.** The queue starts with one build task per
-//!    distinct [`GraphKey`] across the whole campaign — most expensive first, so the
-//!    twitter-scale CSR starts before the cheap graphs — followed by every figure's
-//!    grid units, scheduled measure-units-first and then by ascending estimated cost of
+//!    distinct [`GraphKey`] needed by the scheduled units — most expensive first, so the
+//!    twitter-scale CSR starts before the cheap graphs — followed by every scheduled
+//!    grid unit, ordered measure-units-first and then by ascending estimated cost of
 //!    the graph they need (results are un-permuted into `(figure, unit)` slots
 //!    afterwards, so scheduling order never shows in the output). Workers claim indices
 //!    in increasing order, so every build is claimed before any grid unit, and the
@@ -24,7 +25,7 @@
 //!    wait always terminates. A panicking build marks its slot failed and wakes all
 //!    waiters, which panic in turn; [`run_indexed`] then resumes the **lowest-indexed**
 //!    payload — the build's original panic — on the caller. Slots are **refcounted**
-//!    by their campaign-wide consumer count: the last grid unit to finish with a graph
+//!    by their scheduled consumer count: the last grid unit to finish with a graph
 //!    evicts it from the store, so a graph's CSR is dropped the moment nothing in the
 //!    campaign needs it instead of staying pinned until the campaign ends. (For
 //!    [`piccolo_graph::external`] graphs the registry keeps its own `Arc` for the
@@ -33,16 +34,43 @@
 //!    the build-counting tests pin exactly one build per key with eviction active.
 //! 3. **Results land by `(figure, unit index)` slot**, and derived rows (speedups,
 //!    geomeans) are evaluated per figure from its completed grid, so campaign output is
-//!    byte-identical for any worker count — the property CI enforces on
-//!    `repro --jobs 1` vs `--jobs $(nproc)`.
+//!    byte-identical for any worker count — the property CI enforces on the sharded
+//!    repro matrix.
+//!
+//! # Sharding and resuming
+//!
+//! The flattened grid gives every unit a stable **global unit index** (figure-major
+//! registration order), and [`plan_hash`] fingerprints the whole plan — scale, spec
+//! names, every unit's configuration. On top of those two invariants:
+//!
+//! * [`SweepRunner::run_campaign_shard`] executes the deterministic shard projection
+//!   `unit index % count == index` ([`Shard`]) and serializes the raw unit results as a
+//!   `piccolo-results-shard/v1` document ([`ShardRun::to_json`]). Each shard schedules
+//!   exactly the graph builds its own units need, with refcounts scoped to the shard,
+//!   so eviction stats stay exact per shard.
+//! * [`merge_shards`] validates a complete shard set against the plan hash, un-permutes
+//!   the slots, evaluates derived rows once over the merged grid, and yields figures
+//!   whose `results.json` is **byte-identical** to a single-process run of any worker
+//!   count (`repro --merge`).
+//! * [`SweepRunner::run_campaign_resumed`] journals one checksummed line per completed
+//!   unit (the `campaign/journal.rs` module; line format `piccolo_io::journal`) and
+//!   pre-fills matching slots on the next invocation, scheduling only the remainder —
+//!   a killed campaign finishes in the time of its missing units, with the same output
+//!   bytes (`repro --resume`).
 //!
 //! [`SweepRunner::run`] is a campaign of one figure, so every figure entry point in
 //! [`crate::experiments`] routes through this scheduler.
 
+mod codec;
+mod journal;
+
+use crate::experiments::Scale;
+use crate::json::{parse, Json};
 use crate::report::FigureRows;
 use crate::sweep::{run_indexed, ExperimentSpec, GraphKey, SweepRunner, Unit, UnitResult};
 use piccolo_graph::Csr;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -57,10 +85,12 @@ fn build_cost((dataset, scale_shift, _seed): GraphKey) -> u64 {
 }
 
 /// Scheduling statistics of one executed campaign (all deterministic counts — safe to
-/// log anywhere without breaking output parity).
+/// log anywhere without breaking output parity). On a sharded or resumed campaign the
+/// counts cover the units this process actually **executed** — replayed journal slots
+/// and other shards' units are not in them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignStats {
-    /// Figures executed.
+    /// Figures in the campaign plan.
     pub figures: usize,
     /// Full simulation runs executed (each references one shared graph).
     pub sim_runs: usize,
@@ -69,13 +99,14 @@ pub struct CampaignStats {
     /// Distinct graphs actually built (exactly once each).
     pub graphs_built: usize,
     /// Builds avoided relative to per-figure scheduling (the sum over figures of their
-    /// distinct keys, minus the campaign-wide distinct keys). Zero for a single figure.
+    /// distinct keys among executed units, minus the distinct keys overall). Zero for a
+    /// single figure.
     pub builds_saved: usize,
-    /// Graphs evicted from the shared store mid-campaign, when their last consumer
-    /// finished. Always equals `graphs_built` on a completed campaign. Synthetic
-    /// stand-ins are freed outright at that point; an external graph's memory is
-    /// additionally owned by the process-global `piccolo_graph::external` registry,
-    /// which keeps it for the life of the process.
+    /// Graphs evicted from the shared store mid-campaign, when their last scheduled
+    /// consumer finished. Always equals `graphs_built` on a completed campaign.
+    /// Synthetic stand-ins are freed outright at that point; an external graph's
+    /// memory is additionally owned by the process-global `piccolo_graph::external`
+    /// registry, which keeps it for the life of the process.
     pub graphs_evicted: usize,
 }
 
@@ -86,6 +117,105 @@ pub struct CampaignRun {
     pub figures: Vec<FigureRows>,
     /// Scheduling statistics (graphs built vs saved, unit counts).
     pub stats: CampaignStats,
+}
+
+/// One shard of a campaign's unit grid: the slots whose global unit index satisfies
+/// `index % count == index_of_this_shard`. `Shard { index: 0, count: 1 }` is the whole
+/// campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the campaign is split into.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the `repro --shard` syntax `I/N` (e.g. `0/3`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let err = || format!("shard must be I/N with 0 <= I < N, got '{s}'");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let shard = Shard {
+            index: i.parse().map_err(|_| err())?,
+            count: n.parse().map_err(|_| err())?,
+        };
+        if shard.index < shard.count {
+            Ok(shard)
+        } else {
+            Err(err())
+        }
+    }
+
+    /// Whether this shard executes the unit with global index `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed shard (`count == 0` or `index >= count`) — hand-built
+    /// values bypass [`Shard::parse`], so the invariant is asserted with intent here
+    /// rather than surfacing as a bare divide-by-zero inside the scheduler.
+    pub fn selects(&self, unit: usize) -> bool {
+        assert!(
+            self.index < self.count,
+            "malformed shard {}/{} (need 0 <= index < count)",
+            self.index,
+            self.count
+        );
+        unit % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Fingerprint of a campaign plan: the scale plus every spec's name, title, unit grid
+/// and output shape, folded through FNV-1a 64. Two invocations with equal plan hashes
+/// execute interchangeable unit grids — the property that lets shard files
+/// ([`merge_shards`]) and journal entries ([`SweepRunner::run_campaign_resumed`])
+/// written by separate processes be validated before any slot is trusted.
+///
+/// External graphs ([`piccolo_graph::external`]) have no `(dataset, shift, seed)`
+/// recipe — a `RunConfig` names only a registry id — so each distinct external's name
+/// and **full edge content** is folded in as well. Editing an external's source file
+/// between runs therefore changes the plan, and stale shard files or journal entries
+/// computed over the old graph are refused instead of silently mixed in.
+pub fn plan_hash(scale: Scale, specs: &[ExperimentSpec]) -> u64 {
+    let mut h = piccolo_io::hash::Fnv64::new();
+    h.update(b"piccolo-plan/v1\0");
+    scale.fingerprint(&mut h);
+    for spec in specs {
+        spec.fingerprint(&mut h);
+    }
+    let mut seen_externals: Vec<u32> = Vec::new();
+    for spec in specs {
+        for unit in spec.units() {
+            if let Unit::Sim(rc) = unit {
+                if let piccolo_graph::Dataset::External { id } = rc.dataset {
+                    if !seen_externals.contains(&id) {
+                        seen_externals.push(id);
+                        h.update(format!("external {id} ").as_bytes());
+                        if let Some(name) = piccolo_graph::external::name(id) {
+                            h.update(name.as_bytes());
+                        }
+                        h.update(b"\0");
+                        // The registry hashed the graph's structure once at register
+                        // time, so this stays a constant-size fold per invocation
+                        // even for multi-billion-edge externals.
+                        if let Some(fp) = piccolo_graph::external::content_fingerprint(id) {
+                            h.update(&fp.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+pub(crate) fn plan_hex(plan: u64) -> String {
+    format!("{plan:016x}")
 }
 
 /// State of one graph slot in the shared store.
@@ -110,10 +240,10 @@ struct Slot {
     remaining: AtomicUsize,
 }
 
-/// Shared graph store: one slot per distinct [`GraphKey`] of the campaign, refcounted
-/// by the number of grid units that consume each graph so the `Csr` is dropped the
-/// moment its last consumer finishes (ROADMAP residual: no graph stays pinned for the
-/// whole campaign).
+/// Shared graph store: one slot per distinct [`GraphKey`] of the scheduled units,
+/// refcounted by the number of grid units that consume each graph so the `Csr` is
+/// dropped the moment its last consumer finishes (no graph stays pinned for the whole
+/// campaign).
 struct GraphStore {
     slots: HashMap<GraphKey, Slot>,
 }
@@ -218,49 +348,81 @@ enum TaskOut {
     Unit(UnitResult),
 }
 
-impl SweepRunner {
-    /// Executes `specs` as one campaign: a single global [`run_indexed`] pool over all
-    /// graph builds and grid units, building each distinct [`GraphKey`] exactly once
-    /// campaign-wide. Returns each figure's rows (derived points evaluated per figure)
-    /// plus scheduling stats. Output is byte-identical for every worker count.
-    pub fn run_campaign(&self, specs: &[ExperimentSpec]) -> CampaignRun {
-        // `build_shared` hands out the registry's Arc for external graphs instead of
-        // cloning the CSR, and wraps a fresh build for the synthetic stand-ins.
-        run_campaign_with(self.jobs(), specs, |(dataset, shift, seed)| {
-            dataset.build_shared(shift, seed)
-        })
+/// The flattened unit grid: global unit index -> `(figure, unit-within-figure)`, in
+/// figure-major registration order. This ordering is the contract behind shard
+/// projections and journal entries — it depends only on the spec list.
+fn flatten_units(specs: &[ExperimentSpec]) -> Vec<(usize, usize)> {
+    let mut unit_index = Vec::new();
+    for (figure, spec) in specs.iter().enumerate() {
+        unit_index.extend((0..spec.units().len()).map(|u| (figure, u)));
     }
+    unit_index
 }
 
-/// Campaign executor parameterized over the graph-build function, so tests can count
-/// builds per key or inject failing builds without touching the scheduler itself.
-pub(crate) fn run_campaign_with(
+/// Evaluates every figure's derived rows from a fully-populated grid (`unit_results`
+/// in global unit order). Pure arithmetic — identical however the grid was populated
+/// (one process, merged shards, or a journal-resumed run).
+fn evaluate_figures(specs: &[ExperimentSpec], unit_results: &[UnitResult]) -> Vec<FigureRows> {
+    let mut figures = Vec::with_capacity(specs.len());
+    let mut offset = 0usize;
+    for spec in specs {
+        let grid = &unit_results[offset..offset + spec.units().len()];
+        offset += spec.units().len();
+        figures.push(FigureRows {
+            name: spec.name().to_string(),
+            title: spec.title().to_string(),
+            points: spec.evaluate(grid),
+        });
+    }
+    figures
+}
+
+/// The journal hook [`execute_selected`] calls from worker threads as each unit
+/// completes (global unit index + the finished result).
+type OnUnitDone<'a> = &'a (dyn Fn(usize, &UnitResult) + Sync);
+
+/// Executes the `selected` global unit indices (ascending) over one [`run_indexed`]
+/// pool, building exactly the distinct graphs those units need. Returns the results by
+/// global unit index (`None` for unscheduled slots) plus the scheduling stats.
+fn execute_selected(
     jobs: usize,
     specs: &[ExperimentSpec],
-    build: impl Fn(GraphKey) -> Arc<Csr> + Sync,
-) -> CampaignRun {
+    unit_index: &[(usize, usize)],
+    selected: &[usize],
+    build: &(impl Fn(GraphKey) -> Arc<Csr> + Sync),
+    on_done: Option<OnUnitDone<'_>>,
+) -> (Vec<Option<UnitResult>>, CampaignStats) {
+    let unit_at = |gid: usize| {
+        let (figure, unit) = unit_index[gid];
+        &specs[figure].units()[unit]
+    };
+
     // Distinct graph keys in first-appearance order (deterministic) with their
-    // campaign-wide consumer counts (for eviction), plus the number of builds a
-    // per-figure scheduler would have performed, for the stats.
+    // scheduled consumer counts (for eviction), plus the number of builds a per-figure
+    // scheduler would have performed over the same units, for the stats.
     let mut keys: Vec<GraphKey> = Vec::new();
     let mut consumers: HashMap<GraphKey, usize> = HashMap::new();
-    let mut per_figure_builds = 0usize;
-    for spec in specs {
-        let mut figure_keys: Vec<GraphKey> = Vec::new();
-        for unit in spec.units() {
-            if let Unit::Sim(rc) = unit {
+    let mut figure_keys: Vec<Vec<GraphKey>> = vec![Vec::new(); specs.len()];
+    let mut sim_runs = 0usize;
+    let mut measure_units = 0usize;
+    for &gid in selected {
+        let (figure, _) = unit_index[gid];
+        match unit_at(gid) {
+            Unit::Sim(rc) => {
+                sim_runs += 1;
                 let key = rc.graph_key();
-                if !figure_keys.contains(&key) {
-                    figure_keys.push(key);
+                if !figure_keys[figure].contains(&key) {
+                    figure_keys[figure].push(key);
                 }
                 if !keys.contains(&key) {
                     keys.push(key);
                 }
                 *consumers.entry(key).or_insert(0) += 1;
             }
+            Unit::Measure(_) => measure_units += 1,
         }
-        per_figure_builds += figure_keys.len();
     }
+    let per_figure_builds: usize = figure_keys.iter().map(Vec::len).sum();
 
     // The most expensive builds go first so they start (are claimed) earliest and
     // overlap the most of the remaining campaign. Stable sort: ties keep
@@ -268,28 +430,19 @@ pub(crate) fn run_campaign_with(
     let n_builds = keys.len();
     keys.sort_by_key(|&key| std::cmp::Reverse(build_cost(key)));
 
-    // Flatten every figure's grid behind the build tasks: global slot `n_builds + j`
-    // executes figure `unit_index[schedule[j]].0`, unit `unit_index[schedule[j]].1`.
-    // The schedule claims measure units (always runnable) and cheap-graph sims first,
-    // so workers drain units whose graphs finish earliest instead of blocking behind
-    // the largest build; results are un-permuted below, so scheduling order never
-    // shows in the output.
-    let mut unit_index: Vec<(usize, usize)> = Vec::new();
-    for (figure, spec) in specs.iter().enumerate() {
-        unit_index.extend((0..spec.units().len()).map(|u| (figure, u)));
-    }
-    let mut schedule: Vec<usize> = (0..unit_index.len()).collect();
-    schedule.sort_by_key(|&j| {
-        let (figure, unit) = unit_index[j];
-        match &specs[figure].units()[unit] {
-            Unit::Measure(_) => 0,
-            Unit::Sim(rc) => 1 + build_cost(rc.graph_key()),
-        }
+    // Schedule the selected units behind the build tasks: measure units (always
+    // runnable) and cheap-graph sims first, so workers drain units whose graphs finish
+    // earliest instead of blocking behind the largest build; results are un-permuted
+    // below, so scheduling order never shows in the output.
+    let mut schedule: Vec<usize> = selected.to_vec();
+    schedule.sort_by_key(|&gid| match unit_at(gid) {
+        Unit::Measure(_) => 0,
+        Unit::Sim(rc) => 1 + build_cost(rc.graph_key()),
     });
 
     let keyed: Vec<(GraphKey, usize)> = keys.iter().map(|&k| (k, consumers[&k])).collect();
     let store = GraphStore::new(&keyed);
-    let outputs = run_indexed(jobs, n_builds + unit_index.len(), |i| {
+    let outputs = run_indexed(jobs, n_builds + schedule.len(), |i| {
         if i < n_builds {
             let key = keys[i];
             let mut guard = FailGuard {
@@ -302,8 +455,8 @@ pub(crate) fn run_campaign_with(
             guard.armed = false;
             TaskOut::Built
         } else {
-            let (figure, unit) = unit_index[schedule[i - n_builds]];
-            TaskOut::Unit(match &specs[figure].units()[unit] {
+            let gid = schedule[i - n_builds];
+            let result = match unit_at(gid) {
                 Unit::Sim(rc) => {
                     let key = rc.graph_key();
                     let graph = store.wait(key);
@@ -315,13 +468,16 @@ pub(crate) fn run_campaign_with(
                     result
                 }
                 Unit::Measure(f) => UnitResult::Points(f()),
-            })
+            };
+            if let Some(hook) = on_done {
+                hook(gid, &result);
+            }
+            TaskOut::Unit(result)
         }
     });
     let graphs_evicted = store.evicted_count();
 
-    // Un-permute the scheduled outputs back into figure-major `(figure, unit)` order
-    // and evaluate each figure's derived rows from its completed grid.
+    // Un-permute the scheduled outputs back into global unit order.
     let mut slots: Vec<Option<UnitResult>> = unit_index.iter().map(|_| None).collect();
     for (j, out) in outputs.into_iter().skip(n_builds).enumerate() {
         match out {
@@ -329,40 +485,358 @@ pub(crate) fn run_campaign_with(
             TaskOut::Built => unreachable!("build outputs precede unit outputs"),
         }
     }
-    let unit_results: Vec<UnitResult> = slots
-        .into_iter()
-        .map(|slot| slot.expect("schedule is a permutation of the unit indices"))
-        .collect();
-    let mut figures = Vec::with_capacity(specs.len());
-    let mut offset = 0usize;
-    let mut sim_runs = 0usize;
-    let mut measure_units = 0usize;
-    for spec in specs {
-        let grid = &unit_results[offset..offset + spec.units().len()];
-        offset += spec.units().len();
-        sim_runs += spec.num_runs();
-        measure_units += spec.num_units() - spec.num_runs();
-        figures.push(FigureRows {
-            name: spec.name().to_string(),
-            title: spec.title().to_string(),
-            points: spec.evaluate(grid),
-        });
+
+    let stats = CampaignStats {
+        figures: specs.len(),
+        sim_runs,
+        measure_units,
+        // One build unit per distinct key by construction; a panicking build aborts
+        // the whole campaign, so a returned run always built all of them.
+        graphs_built: n_builds,
+        builds_saved: per_figure_builds - n_builds,
+        // Every key has >= 1 consumer (keys come from scheduled sim units), so a
+        // completed campaign has evicted every graph it built.
+        graphs_evicted,
+    };
+    (slots, stats)
+}
+
+/// The default graph-build function: `build_shared` hands out the registry's Arc for
+/// external graphs instead of cloning the CSR, and wraps a fresh build for the
+/// synthetic stand-ins.
+fn default_build((dataset, shift, seed): GraphKey) -> Arc<Csr> {
+    dataset.build_shared(shift, seed)
+}
+
+impl SweepRunner {
+    /// Executes `specs` as one campaign: a single global [`run_indexed`] pool over all
+    /// graph builds and grid units, building each distinct [`GraphKey`] exactly once
+    /// campaign-wide. Returns each figure's rows (derived points evaluated per figure)
+    /// plus scheduling stats. Output is byte-identical for every worker count.
+    pub fn run_campaign(&self, specs: &[ExperimentSpec]) -> CampaignRun {
+        run_campaign_with(self.jobs(), specs, default_build)
     }
 
+    /// Executes one [`Shard`] of the campaign: exactly the grid units whose global
+    /// index satisfies `index % count`, building only the graphs those units need
+    /// (refcounts — and therefore eviction stats — scoped to the shard). The returned
+    /// [`ShardRun`] serializes to a `piccolo-results-shard/v1` document that
+    /// [`merge_shards`] recombines into output byte-identical to an unsharded run.
+    pub fn run_campaign_shard(
+        &self,
+        scale: Scale,
+        specs: &[ExperimentSpec],
+        shard: Shard,
+    ) -> ShardRun {
+        let unit_index = flatten_units(specs);
+        let selected: Vec<usize> = (0..unit_index.len())
+            .filter(|&g| shard.selects(g))
+            .collect();
+        let (mut slots, stats) = execute_selected(
+            self.jobs(),
+            specs,
+            &unit_index,
+            &selected,
+            &default_build,
+            None,
+        );
+        let units = selected
+            .iter()
+            .map(|&gid| (gid, slots[gid].take().expect("selected slot executed")))
+            .collect();
+        ShardRun {
+            shard,
+            stats,
+            plan: plan_hash(scale, specs),
+            scale,
+            units,
+        }
+    }
+
+    /// Executes the campaign with a run journal at `journal_path`: slots recovered
+    /// from the journal (matching plan hash, verified checksum) are **replayed**
+    /// without executing, only the remainder is scheduled, and every newly completed
+    /// unit is appended — so a killed invocation re-run with the same journal finishes
+    /// in the time of its missing units and produces byte-identical figures. A missing
+    /// journal file starts an empty one (a plain run that journals as it goes).
+    pub fn run_campaign_resumed(
+        &self,
+        scale: Scale,
+        specs: &[ExperimentSpec],
+        journal_path: &Path,
+    ) -> std::io::Result<ResumeRun> {
+        let plan = plan_hash(scale, specs);
+        let unit_index = flatten_units(specs);
+        let mut replay = journal::read_replay(journal_path, plan, specs, &unit_index)?;
+        let selected: Vec<usize> = (0..unit_index.len())
+            .filter(|gid| !replay.entries.contains_key(gid))
+            .collect();
+        let writer = journal::Writer::append_to(journal_path, plan)?;
+        let executed = selected.len();
+        let on_done = |gid: usize, result: &UnitResult| writer.record(gid, result);
+        let (slots, stats) = execute_selected(
+            self.jobs(),
+            specs,
+            &unit_index,
+            &selected,
+            &default_build,
+            Some(&on_done),
+        );
+        let unit_results: Vec<UnitResult> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(gid, slot)| match slot {
+                Some(result) => result,
+                None => replay
+                    .entries
+                    .remove(&gid)
+                    .expect("every unscheduled slot was replayed from the journal"),
+            })
+            .collect();
+        Ok(ResumeRun {
+            replayed: unit_results.len() - executed,
+            executed,
+            corrupt: replay.corrupt,
+            mismatched: replay.mismatched,
+            run: CampaignRun {
+                figures: evaluate_figures(specs, &unit_results),
+                stats,
+            },
+        })
+    }
+}
+
+/// Output of [`SweepRunner::run_campaign_resumed`]: the completed campaign plus what
+/// the journal contributed.
+#[derive(Debug)]
+pub struct ResumeRun {
+    /// The completed campaign (figures identical to an uninterrupted run; stats cover
+    /// the units this invocation executed).
+    pub run: CampaignRun,
+    /// Slots pre-filled from the journal.
+    pub replayed: usize,
+    /// Units executed (and appended to the journal) by this invocation.
+    pub executed: usize,
+    /// Journal lines dropped by the checksum check — each costs one re-run, nothing
+    /// else.
+    pub corrupt: usize,
+    /// Well-formed entries ignored because they belong to a different plan (figure
+    /// set, scale, or spec revision) or name an impossible slot.
+    pub mismatched: usize,
+}
+
+/// One executed shard: the raw results of its grid slots, tagged with the plan hash
+/// that [`merge_shards`] validates before recombining.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// Which projection of the grid this shard executed.
+    pub shard: Shard,
+    /// Scheduling stats of this shard alone (its own builds and evictions).
+    pub stats: CampaignStats,
+    plan: u64,
+    scale: Scale,
+    units: Vec<(usize, UnitResult)>,
+}
+
+impl ShardRun {
+    /// Number of grid units this shard executed.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Serializes this shard as a `piccolo-results-shard/v1` document: plan hash,
+    /// shard coordinates, scale, and one `{unit, result}` entry per executed slot in
+    /// ascending global unit order (deterministic bytes, like everything else in the
+    /// results pipeline).
+    pub fn to_json(&self) -> String {
+        let doc = Json::obj([
+            ("schema", Json::str("piccolo-results-shard/v1")),
+            ("plan", Json::str(plan_hex(self.plan))),
+            (
+                "shard",
+                Json::obj([
+                    ("index", Json::Num(self.shard.index as f64)),
+                    ("count", Json::Num(self.shard.count as f64)),
+                ]),
+            ),
+            (
+                "scale",
+                Json::obj([
+                    ("scale_shift", Json::Num(self.scale.scale_shift as f64)),
+                    // The seed is a u64; like the codec's counters it rides as a
+                    // decimal string so it can never round past 2^53.
+                    ("seed", Json::str(self.scale.seed.to_string())),
+                    (
+                        "max_iterations",
+                        Json::Num(self.scale.max_iterations as f64),
+                    ),
+                ]),
+            ),
+            (
+                "units",
+                Json::Arr(
+                    self.units
+                        .iter()
+                        .map(|(gid, result)| {
+                            Json::obj([
+                                ("unit", Json::Num(*gid as f64)),
+                                ("result", codec::unit_result_to_json(result)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut out = doc.to_string();
+        out.push('\n');
+        out
+    }
+}
+
+/// Recombines a complete set of shard documents ([`ShardRun::to_json`]) into the
+/// campaign's figures. Validates everything before trusting a single slot: schema and
+/// plan hash (against *this* process's `scale` + `specs`), consistent shard count, a
+/// complete set of distinct shard indices, every unit in its shard's projection with a
+/// kind matching the grid, and full grid coverage. Derived rows are then evaluated
+/// once over the merged grid, so `results.json` built from the returned figures is
+/// byte-identical to a single-process run at any worker count.
+pub fn merge_shards(
+    scale: Scale,
+    specs: &[ExperimentSpec],
+    docs: &[String],
+) -> Result<Vec<FigureRows>, String> {
+    if docs.is_empty() {
+        return Err("no shard documents to merge".to_string());
+    }
+    let expected_plan = plan_hex(plan_hash(scale, specs));
+    let unit_index = flatten_units(specs);
+    let mut slots: Vec<Option<UnitResult>> = unit_index.iter().map(|_| None).collect();
+    let mut count: Option<usize> = None;
+    let mut seen_shards: Vec<usize> = Vec::new();
+
+    for (d, doc) in docs.iter().enumerate() {
+        let err = |msg: String| format!("shard document {d}: {msg}");
+        let v = parse(doc.trim()).map_err(|e| err(format!("unparseable: {e}")))?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some("piccolo-results-shard/v1") => {}
+            other => return Err(err(format!("unexpected schema {other:?}"))),
+        }
+        match v.get("plan").and_then(Json::as_str) {
+            Some(plan) if plan == expected_plan => {}
+            other => {
+                return Err(err(format!(
+                    "plan hash {other:?} does not match this figure set and scale \
+                     (expected {expected_plan}) — shards and merge must use identical \
+                     figures, scale, and code revision"
+                )))
+            }
+        }
+        let shard_of = |key: &str| {
+            v.get("shard")
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_f64)
+                .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                .map(|n| n as usize)
+        };
+        let (Some(index), Some(shard_count)) = (shard_of("index"), shard_of("count")) else {
+            return Err(err("missing or invalid shard coordinates".to_string()));
+        };
+        if index >= shard_count {
+            return Err(err(format!(
+                "shard index {index} out of range 0..{shard_count}"
+            )));
+        }
+        match count {
+            None => count = Some(shard_count),
+            Some(c) if c == shard_count => {}
+            Some(c) => {
+                return Err(err(format!(
+                    "shard count {shard_count} disagrees with earlier documents ({c})"
+                )))
+            }
+        }
+        if seen_shards.contains(&index) {
+            return Err(err(format!("duplicate shard {index}/{shard_count}")));
+        }
+        seen_shards.push(index);
+        let shard = Shard {
+            index,
+            count: shard_count,
+        };
+
+        let units = v
+            .get("units")
+            .and_then(Json::as_array)
+            .ok_or_else(|| err("missing units array".to_string()))?;
+        for entry in units {
+            let gid = entry
+                .get("unit")
+                .and_then(Json::as_f64)
+                .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                .map(|n| n as usize)
+                .ok_or_else(|| err("unit entry without a valid index".to_string()))?;
+            if gid >= unit_index.len() {
+                return Err(err(format!(
+                    "unit {gid} out of range (grid has {} units)",
+                    unit_index.len()
+                )));
+            }
+            if !shard.selects(gid) {
+                return Err(err(format!("unit {gid} does not belong to shard {shard}")));
+            }
+            if slots[gid].is_some() {
+                return Err(err(format!("unit {gid} appears twice")));
+            }
+            let result = entry
+                .get("result")
+                .ok_or_else(|| err(format!("unit {gid} has no result")))?;
+            let (figure, u) = unit_index[gid];
+            if !codec::kind_matches(result, &specs[figure].units()[u]) {
+                return Err(err(format!(
+                    "unit {gid} kind does not match the plan's grid (corrupt or foreign file)"
+                )));
+            }
+            slots[gid] = Some(
+                codec::unit_result_from_json(result)
+                    .map_err(|e| err(format!("unit {gid}: {e}")))?,
+            );
+        }
+    }
+
+    let count = count.expect("docs is non-empty");
+    if docs.len() != count {
+        return Err(format!(
+            "incomplete shard set: {} document(s) for {count} shard(s)",
+            docs.len()
+        ));
+    }
+    let unit_results: Vec<UnitResult> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(gid, slot)| {
+            slot.ok_or_else(|| format!("unit {gid} missing from every shard document"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(evaluate_figures(specs, &unit_results))
+}
+
+/// Campaign executor parameterized over the graph-build function, so tests can count
+/// builds per key or inject failing builds without touching the scheduler itself.
+pub(crate) fn run_campaign_with(
+    jobs: usize,
+    specs: &[ExperimentSpec],
+    build: impl Fn(GraphKey) -> Arc<Csr> + Sync,
+) -> CampaignRun {
+    let unit_index = flatten_units(specs);
+    let selected: Vec<usize> = (0..unit_index.len()).collect();
+    let (slots, stats) = execute_selected(jobs, specs, &unit_index, &selected, &build, None);
+    let unit_results: Vec<UnitResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every unit was scheduled"))
+        .collect();
     CampaignRun {
-        figures,
-        stats: CampaignStats {
-            figures: specs.len(),
-            sim_runs,
-            measure_units,
-            // One build unit per distinct key by construction; a panicking build
-            // aborts the whole campaign, so a returned run always built all of them.
-            graphs_built: n_builds,
-            builds_saved: per_figure_builds - n_builds,
-            // Every key has >= 1 consumer (keys come from sim units), so a completed
-            // campaign has evicted every graph it built.
-            graphs_evicted,
-        },
+        figures: evaluate_figures(specs, &unit_results),
+        stats,
     }
 }
 
@@ -553,5 +1027,175 @@ mod tests {
             results_json(tiny(), &parallel.figures),
             results_json(tiny(), &reference.figures)
         );
+    }
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/3"), Ok(Shard { index: 0, count: 3 }));
+        assert_eq!(Shard::parse("2/3"), Ok(Shard { index: 2, count: 3 }));
+        assert_eq!(Shard { index: 1, count: 4 }.to_string(), "1/4");
+        for bad in ["3/3", "4/3", "-1/3", "a/3", "1/", "/3", "1", "1/0"] {
+            assert!(Shard::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn plan_hash_is_stable_and_sensitive() {
+        let specs = shared_graph_specs();
+        assert_eq!(plan_hash(tiny(), &specs), plan_hash(tiny(), &specs));
+        // A different scale, figure subset, or figure order is a different plan.
+        let other_scale = Scale {
+            scale_shift: 14,
+            ..tiny()
+        };
+        assert_ne!(plan_hash(tiny(), &specs), plan_hash(other_scale, &specs));
+        assert_ne!(plan_hash(tiny(), &specs), plan_hash(tiny(), &specs[..2]));
+        let mut reordered = shared_graph_specs();
+        reordered.reverse();
+        assert_ne!(plan_hash(tiny(), &specs), plan_hash(tiny(), &reordered));
+    }
+
+    #[test]
+    fn plan_hash_tracks_external_graph_content() {
+        use piccolo_graph::{external, generate};
+
+        // Re-registering a name keeps the registry id, so RunConfig's Debug output is
+        // identical for both graphs — only the content fold can tell them apart. A
+        // journal or shard file computed over the old graph must not replay into a
+        // campaign over the new one.
+        let ds = external::register("plan-hash-ext", generate::kronecker(9, 4, 1));
+        let specs = vec![experiments::fig12_spec(tiny(), &[ds], &[Algorithm::Bfs])];
+        let original = plan_hash(tiny(), &specs);
+        external::register("plan-hash-ext", generate::kronecker(9, 4, 2));
+        assert_ne!(plan_hash(tiny(), &specs), original);
+        // Restoring identical content restores the plan.
+        external::register("plan-hash-ext", generate::kronecker(9, 4, 1));
+        assert_eq!(plan_hash(tiny(), &specs), original);
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_the_unsharded_run() {
+        let specs = shared_graph_specs();
+        let reference = SweepRunner::new(4).run_campaign(&specs);
+        let doc = results_json(tiny(), &reference.figures);
+        let shard_count = 3;
+        let mut shard_docs = Vec::new();
+        let mut sim_runs = 0;
+        for index in 0..shard_count {
+            let shard = Shard {
+                index,
+                count: shard_count,
+            };
+            let run = SweepRunner::new(2).run_campaign_shard(tiny(), &specs, shard);
+            // Each shard built only what it needed and evicted all of it.
+            assert_eq!(run.stats.graphs_evicted, run.stats.graphs_built);
+            sim_runs += run.stats.sim_runs;
+            shard_docs.push(run.to_json());
+        }
+        assert_eq!(
+            sim_runs, reference.stats.sim_runs,
+            "shards partition the grid"
+        );
+        let merged = merge_shards(tiny(), &specs, &shard_docs).expect("merge succeeds");
+        assert_eq!(results_json(tiny(), &merged), doc);
+    }
+
+    #[test]
+    fn merge_rejects_foreign_incomplete_and_duplicate_shards() {
+        let specs = shared_graph_specs();
+        let shard_docs: Vec<String> = (0..2)
+            .map(|index| {
+                SweepRunner::sequential()
+                    .run_campaign_shard(tiny(), &specs, Shard { index, count: 2 })
+                    .to_json()
+            })
+            .collect();
+        // The happy path works...
+        assert!(merge_shards(tiny(), &specs, &shard_docs).is_ok());
+        // ...but a missing shard, a duplicated shard, a foreign plan, and garbage all
+        // fail with a descriptive error instead of producing wrong output.
+        let missing = merge_shards(tiny(), &specs, &shard_docs[..1]);
+        assert!(missing.unwrap_err().contains("incomplete shard set"));
+        let dup = merge_shards(
+            tiny(),
+            &specs,
+            &[shard_docs[0].clone(), shard_docs[0].clone()],
+        );
+        assert!(dup.unwrap_err().contains("duplicate shard"));
+        let foreign_scale = Scale {
+            scale_shift: 14,
+            ..tiny()
+        };
+        let foreign = merge_shards(foreign_scale, &specs, &shard_docs);
+        assert!(foreign.unwrap_err().contains("plan hash"));
+        let garbage = merge_shards(tiny(), &specs, &["not json".to_string()]);
+        assert!(garbage.is_err());
+        let wrong_schema = merge_shards(
+            tiny(),
+            &specs,
+            &[r#"{"schema":"piccolo-results/v1"}"#.to_string()],
+        );
+        assert!(wrong_schema.unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn a_single_shard_of_one_is_the_whole_campaign() {
+        let specs = shared_graph_specs();
+        let reference = SweepRunner::sequential().run_campaign(&specs);
+        let shard = SweepRunner::sequential().run_campaign_shard(
+            tiny(),
+            &specs,
+            Shard { index: 0, count: 1 },
+        );
+        assert_eq!(shard.stats, reference.stats);
+        let merged = merge_shards(tiny(), &specs, &[shard.to_json()]).unwrap();
+        assert_eq!(
+            results_json(tiny(), &merged),
+            results_json(tiny(), &reference.figures)
+        );
+    }
+
+    #[test]
+    fn resume_journal_replays_completed_units() {
+        let dir = std::env::temp_dir().join(format!("piccolo-campaign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("resume-unit-test.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let specs = shared_graph_specs();
+        let runner = SweepRunner::new(2);
+        let first = runner
+            .run_campaign_resumed(tiny(), &specs, &journal)
+            .unwrap();
+        assert_eq!(first.replayed, 0);
+        assert!(first.executed > 0);
+        let doc = results_json(tiny(), &first.run.figures);
+
+        // A second invocation replays everything and executes nothing.
+        let second = runner
+            .run_campaign_resumed(tiny(), &specs, &journal)
+            .unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.replayed, first.executed);
+        assert_eq!(second.run.stats.graphs_built, 0);
+        assert_eq!(results_json(tiny(), &second.run.figures), doc);
+
+        // A different plan ignores every entry (mismatched, not replayed).
+        let other_scale = Scale {
+            max_iterations: 1,
+            ..tiny()
+        };
+        let other_journal = dir.join("resume-unit-test-other.jsonl");
+        let _ = std::fs::remove_file(&other_journal);
+        std::fs::copy(&journal, &other_journal).unwrap();
+        let foreign = runner
+            .run_campaign_resumed(other_scale, &specs, &other_journal)
+            .unwrap();
+        assert_eq!(foreign.replayed, 0);
+        assert_eq!(foreign.mismatched, first.executed);
+        assert_eq!(foreign.executed, first.executed);
+
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&other_journal);
     }
 }

@@ -52,6 +52,19 @@ impl Scale {
             max_iterations: 5,
         }
     }
+
+    /// Folds this scale into a campaign plan hash (see [`crate::campaign::plan_hash`]):
+    /// `Measure` units close over the scale invisibly, so the scale must be part of any
+    /// fingerprint that claims two plans are interchangeable.
+    pub(crate) fn fingerprint(&self, h: &mut piccolo_io::hash::Fnv64) {
+        h.update(
+            format!(
+                "scale shift={} seed={} iters={}\0",
+                self.scale_shift, self.seed, self.max_iterations
+            )
+            .as_bytes(),
+        );
+    }
 }
 
 /// One measured data point: a label (matching the paper's x-axis) and a value.

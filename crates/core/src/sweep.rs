@@ -280,6 +280,38 @@ impl ExperimentSpec {
         &self.units
     }
 
+    /// Folds a stable fingerprint of this spec — name, title, every unit's full
+    /// configuration and every output row's shape — into `h`. Two spec lists with equal
+    /// fingerprints (under the same [`crate::experiments::Scale`]) describe the same
+    /// campaign plan, which is what lets shard files and run journals from separate
+    /// processes be validated against each other (see [`crate::campaign::plan_hash`]).
+    ///
+    /// `Measure` closures are opaque, so they contribute only their position; the spec
+    /// name plus the scale (hashed by the caller) pins their behavior in practice.
+    pub(crate) fn fingerprint(&self, h: &mut piccolo_io::hash::Fnv64) {
+        let mut fold = |s: &str| {
+            h.update(s.as_bytes());
+            h.update(b"\0");
+        };
+        fold("spec");
+        fold(&self.name);
+        fold(&self.title);
+        for unit in &self.units {
+            match unit {
+                // RunConfig is plain data (enums, integers, floats); its Debug output
+                // is deterministic across processes and toolchain runs.
+                Unit::Sim(rc) => fold(&format!("sim {rc:?}")),
+                Unit::Measure(_) => fold("measure"),
+            }
+        }
+        for output in &self.outputs {
+            match output {
+                Output::Derived { label, .. } => fold(&format!("derived {label}")),
+                Output::Splice(idx) => fold(&format!("splice {idx}")),
+            }
+        }
+    }
+
     /// Evaluates the derived output rows from this spec's completed grid (`units[i]` is
     /// the result of `self.units()[i]`). Pure arithmetic — always sequential.
     pub(crate) fn evaluate(&self, units: &[UnitResult]) -> Vec<Point> {

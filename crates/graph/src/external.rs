@@ -32,6 +32,32 @@ use std::sync::{Arc, Mutex, OnceLock};
 struct Entry {
     name: String,
     graph: Arc<Csr>,
+    /// Structural content hash, computed once at registration (O(edges)) so plan
+    /// fingerprints over external graphs are a constant-size fold per invocation.
+    fingerprint: u64,
+}
+
+/// FNV-1a 64 over the graph's structure: vertex/edge counts and every `(src, dst,
+/// weight)` triple in CSR order. Self-contained (this crate sits below `piccolo-io`,
+/// whose hashing helpers therefore cannot be reused here) and stable across platforms.
+fn csr_fingerprint(graph: &Csr) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold(graph.num_vertices() as u64);
+    fold(graph.num_edges());
+    for e in graph.iter_edges() {
+        fold(e.src as u64);
+        fold(e.dst as u64);
+        fold(e.weight as u64);
+    }
+    h
 }
 
 fn registry() -> &'static Mutex<Vec<Entry>> {
@@ -45,15 +71,18 @@ fn registry() -> &'static Mutex<Vec<Entry>> {
 /// reused, so repeated loads of the same source are idempotent and ids stay stable
 /// for the life of the process.
 pub fn register(name: &str, graph: Csr) -> Dataset {
+    let fingerprint = csr_fingerprint(&graph);
     let mut entries = registry().lock().unwrap();
     let graph = Arc::new(graph);
     if let Some(id) = entries.iter().position(|e| e.name == name) {
         entries[id].graph = graph;
+        entries[id].fingerprint = fingerprint;
         return Dataset::External { id: id as u32 };
     }
     entries.push(Entry {
         name: name.to_string(),
         graph,
+        fingerprint,
     });
     Dataset::External {
         id: (entries.len() - 1) as u32,
@@ -89,6 +118,19 @@ pub fn graph(id: u32) -> Option<Arc<Csr>> {
         .map(|e| Arc::clone(&e.graph))
 }
 
+/// The structural content hash of `id`'s registered graph, if any — computed once at
+/// [`register`] time. Two registrations with equal fingerprints hold identical graphs
+/// (same counts, same `(src, dst, weight)` sequence), which is what campaign plan
+/// hashing folds in so stale shard files / journal entries computed over an edited
+/// external source are refused without re-hashing the graph per invocation.
+pub fn content_fingerprint(id: u32) -> Option<u64> {
+    registry()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .map(|e| e.fingerprint)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,10 +149,20 @@ mod tests {
         };
         assert_eq!(name(ida).as_deref(), Some("ext-test-a"));
         assert_eq!(*graph(ida).unwrap(), g1);
-        // Re-registering the same name keeps the id and replaces the graph.
+        // Re-registering the same name keeps the id and replaces the graph — and the
+        // content fingerprint follows the content, not the id.
+        let fp1 = content_fingerprint(ida).unwrap();
         let a2 = register("ext-test-a", g2.clone());
         assert_eq!(a, a2);
         assert_eq!(*graph(ida).unwrap(), g2);
+        let fp2 = content_fingerprint(ida).unwrap();
+        assert_ne!(fp1, fp2, "different content, different fingerprint");
+        register("ext-test-a", g1.clone());
+        assert_eq!(
+            content_fingerprint(ida).unwrap(),
+            fp1,
+            "identical content restores the fingerprint"
+        );
     }
 
     #[test]
@@ -118,5 +170,6 @@ mod tests {
         assert_eq!(lookup("ext-test-never-registered"), None);
         assert_eq!(name(u32::MAX), None);
         assert!(graph(u32::MAX).is_none());
+        assert!(content_fingerprint(u32::MAX).is_none());
     }
 }

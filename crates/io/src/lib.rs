@@ -14,6 +14,9 @@
 //! * **The snapshot cache** ([`snapshot`]) — a content-hash-keyed directory of
 //!   snapshots, so the second load of any external graph skips parsing entirely and
 //!   editing a source file invalidates its snapshot automatically.
+//! * **Checksummed journal lines** ([`journal`]) — the append-only line format behind
+//!   the campaign run journal (`repro --resume`): each line carries an FNV-1a-64
+//!   checksum, so torn or corrupted entries are skipped instead of poisoning a resume.
 //!
 //! The `graphtool` binary (`convert` / `info` / `verify`) exposes the same machinery
 //! on the command line, and `repro --external NAME=PATH` runs loaded graphs through
@@ -34,6 +37,7 @@
 
 pub mod error;
 pub mod hash;
+pub mod journal;
 pub mod pcsr;
 pub mod snapshot;
 pub mod text;
