@@ -21,10 +21,10 @@
 
 use crate::config::SimConfig;
 use crate::layout::{EDGE_BYTES, PROP_BYTES};
-use crate::pipeline::{self, ScatterContext, Traversal};
+use crate::pipeline::{self, ScatterContext, ScatterGroup, Traversal};
 use piccolo_algo::vcm::VertexProgram;
 use piccolo_dram::Region;
-use piccolo_graph::{tiling, Csr, Tiling, VertexId};
+use piccolo_graph::{tiling, Csr, Tiling};
 
 pub use crate::pipeline::{resolve_tiling, RunResult};
 
@@ -52,42 +52,58 @@ impl<P: VertexProgram> Traversal<P> for VertexCentric {
         (self.tiling.tile_width(), self.tiling.num_tiles())
     }
 
-    fn scatter(&self, ctx: &mut ScatterContext<'_, P>) {
-        let frontier: Vec<VertexId> = ctx.active().iter_sorted().collect();
-        for (tile_idx, tile) in self.tiling.iter().enumerate() {
-            let slice = &self.tile_slices[tile_idx];
-            if slice.num_edges() == 0 {
+    fn num_chunks(&self) -> usize {
+        self.tile_slices.len()
+    }
+
+    fn groups(&self) -> Vec<ScatterGroup> {
+        // One group per destination tile: a chunk *is* a tile, so chunk and group
+        // indices coincide and destination ranges tile the vertex space in order.
+        self.tiling
+            .iter()
+            .enumerate()
+            .map(|(i, tile)| ScatterGroup {
+                chunks: vec![i],
+                dst_range: (tile.start, tile.end),
+                cost: self.tile_slices[i].num_edges(),
+            })
+            .collect()
+    }
+
+    fn scatter_chunk(&self, chunk: usize, ctx: &mut ScatterContext<'_, P>) {
+        let slice = &self.tile_slices[chunk];
+        if slice.num_edges() == 0 {
+            return;
+        }
+        let tile = self.tiling.tile(chunk as u32);
+        ctx.begin_chunk(tile.width() as u64 * PROP_BYTES);
+
+        let mut sources_with_edges = 0u64;
+        let mut edge_bytes = 0u64;
+        for &u in ctx.frontier() {
+            let deg = slice.out_degree(u);
+            if deg == 0 {
                 continue;
             }
-            ctx.begin_chunk(tile.width() as u64 * PROP_BYTES);
-
-            let mut sources_with_edges = 0u64;
-            let mut edge_bytes = 0u64;
-            for &u in &frontier {
-                let deg = slice.out_degree(u);
-                if deg == 0 {
-                    continue;
-                }
-                sources_with_edges += 1;
-                edge_bytes += deg * EDGE_BYTES;
-                for (v, w) in slice.neighbors(u) {
-                    ctx.process_edge(u, v, w);
-                }
+            sources_with_edges += 1;
+            edge_bytes += deg * EDGE_BYTES;
+            for (v, w) in slice.neighbors(u) {
+                ctx.process_edge(u, v, w);
             }
-
-            // Topology and source-property accesses for this tile (dense frontiers
-            // stream, sparse frontiers scatter — the pipeline owns that policy).
-            ctx.frontier_reads(tile_idx, sources_with_edges);
-            ctx.stream(
-                ctx.layout().columns_base,
-                (tile_idx as u64 * 64) % (1 << 20),
-                edge_bytes,
-                false,
-                Region::TopologyCol,
-            );
-
-            ctx.end_chunk();
         }
+
+        // Topology and source-property accesses for this tile (dense frontiers
+        // stream, sparse frontiers scatter — the pipeline owns that policy).
+        ctx.frontier_reads(chunk, sources_with_edges);
+        ctx.stream(
+            ctx.layout().columns_base,
+            (chunk as u64 * 64) % (1 << 20),
+            edge_bytes,
+            false,
+            Region::TopologyCol,
+        );
+
+        ctx.end_chunk();
     }
 }
 
@@ -99,7 +115,11 @@ impl<P: VertexProgram> Traversal<P> for VertexCentric {
 /// shared [`pipeline::run_with_best_search`]: the run is simulated once per
 /// [`pipeline::BEST_TILING_FACTORS`] candidate and the fastest result wins (smallest
 /// factor on a tie). Conventional systems always prefer factor 1 and skip the search.
-pub fn simulate<P: VertexProgram>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult {
+pub fn simulate<P>(graph: &Csr, program: &P, cfg: &SimConfig) -> RunResult
+where
+    P: VertexProgram + Sync,
+    P::Value: Send + Sync,
+{
     pipeline::run_with_best_search(graph, program, cfg, VertexCentric::new)
 }
 

@@ -29,6 +29,7 @@ pub mod config;
 pub mod edge_centric;
 pub mod engine;
 pub mod layout;
+pub mod parallel;
 pub mod path;
 pub mod pipeline;
 
@@ -36,7 +37,9 @@ pub use config::{AccelConfig, CacheKind, SimConfig, SystemKind, TilingPolicy};
 pub use edge_centric::{simulate_edge_centric, EdgeCentric};
 pub use engine::{simulate, VertexCentric};
 pub use layout::GraphLayout;
+pub use parallel::{intra_jobs, phase_profile, reset_phase_profile, set_intra_jobs, PhaseProfile};
 pub use path::MemoryPath;
 pub use pipeline::{
-    resolve_tiling, run_with_best_search, RunResult, ScatterContext, Traversal, BEST_TILING_FACTORS,
+    resolve_tiling, run_with_best_search, PhaseBreakdown, RunResult, ScatterContext, ScatterGroup,
+    Traversal, BEST_TILING_FACTORS,
 };

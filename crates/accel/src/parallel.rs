@@ -1,0 +1,125 @@
+//! Intra-run parallelism controls and the host-side phase profiler.
+//!
+//! Piccolo has two levels of parallelism:
+//!
+//! * **unit-level** — the sweep/campaign engine (`piccolo::sweep::run_indexed`) executes
+//!   whole simulated runs on `--jobs` worker threads;
+//! * **intra-run** — [`pipeline::run`](crate::pipeline::run) splits the interior of one
+//!   run (scatter chunks, the apply phase) across [`intra_jobs`] worker threads.
+//!
+//! The intra-run budget is a process-wide knob rather than a `SimConfig` field on
+//! purpose: experiment fingerprints (and therefore campaign plan hashes, journals and
+//! shard files) fold the run configuration, and the thread count must never change
+//! *what* is computed — results are byte-identical for any value — only how fast.
+//!
+//! The phase profiler accumulates *host* wall-clock nanoseconds per pipeline phase
+//! (scatter / apply / frontier rebuild) across all runs since the last reset. It exists
+//! so hot-loop work is profile-guided; the numbers are wall-clock facts about this
+//! machine and are deliberately kept out of [`RunResult`](crate::RunResult) and every
+//! deterministic artifact.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static INTRA_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the number of worker threads used *inside* each simulated run.
+///
+/// `0` resolves to the machine's available parallelism at call time; any other value is
+/// used as-is (clamped to at least 1). The default is 1 (serial interior), which keeps
+/// single-run behaviour identical to the pre-parallel pipeline.
+pub fn set_intra_jobs(n: usize) {
+    let resolved = if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    };
+    INTRA_JOBS.store(resolved.max(1), Ordering::Relaxed);
+}
+
+/// The current intra-run worker budget (default 1 = serial interior).
+pub fn intra_jobs() -> usize {
+    INTRA_JOBS.load(Ordering::Relaxed).max(1)
+}
+
+static SCATTER_NS: AtomicU64 = AtomicU64::new(0);
+static APPLY_NS: AtomicU64 = AtomicU64::new(0);
+static FRONTIER_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Host wall-clock nanoseconds spent per pipeline phase since the last
+/// [`reset_phase_profile`], accumulated across every run in the process.
+///
+/// These are measurements of the *simulator* on this machine, not of the simulated
+/// accelerator; the simulated per-phase cycle breakdown lives in
+/// [`PhaseBreakdown`](crate::pipeline::PhaseBreakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseProfile {
+    /// Nanoseconds spent in the scatter phase (edge traversal + request generation).
+    pub scatter_ns: u64,
+    /// Nanoseconds spent in the apply phase (functional apply + apply traffic).
+    pub apply_ns: u64,
+    /// Nanoseconds spent rebuilding the frontier and per-iteration scratch.
+    pub frontier_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Total profiled nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.scatter_ns + self.apply_ns + self.frontier_ns
+    }
+}
+
+pub(crate) fn add_scatter_ns(ns: u64) {
+    SCATTER_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+pub(crate) fn add_apply_ns(ns: u64) {
+    APPLY_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+pub(crate) fn add_frontier_ns(ns: u64) {
+    FRONTIER_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Snapshot of the accumulated host-side phase timings (process-wide).
+pub fn phase_profile() -> PhaseProfile {
+    PhaseProfile {
+        scatter_ns: SCATTER_NS.load(Ordering::Relaxed),
+        apply_ns: APPLY_NS.load(Ordering::Relaxed),
+        frontier_ns: FRONTIER_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the phase profiler to zero.
+pub fn reset_phase_profile() {
+    SCATTER_NS.store(0, Ordering::Relaxed);
+    APPLY_NS.store(0, Ordering::Relaxed);
+    FRONTIER_NS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_jobs_resolves_zero_to_at_least_one() {
+        // Other tests may race on the global; only assert invariants that hold for any
+        // interleaving of set_intra_jobs calls.
+        set_intra_jobs(0);
+        assert!(intra_jobs() >= 1);
+        set_intra_jobs(3);
+        assert!(intra_jobs() >= 1);
+        set_intra_jobs(1);
+    }
+
+    #[test]
+    fn profiler_accumulates_and_resets() {
+        add_scatter_ns(5);
+        add_apply_ns(7);
+        add_frontier_ns(9);
+        let p = phase_profile();
+        assert!(p.scatter_ns >= 5 && p.apply_ns >= 7 && p.frontier_ns >= 9);
+        assert!(p.total_ns() >= 21);
+    }
+}

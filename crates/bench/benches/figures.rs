@@ -14,6 +14,7 @@
 //! cargo bench                                   # all figures, 5 samples each
 //! cargo bench -- fig10                          # filter by name substring
 //! cargo bench -- --quick --jobs 2               # 2 samples, 2 workers
+//! cargo bench -- --intra-jobs 4                 # 4 threads inside each simulation
 //! cargo bench -- --json BENCH.json --check crates/bench/baselines.json
 //! cargo bench -- --external web=web.tsv        # bench a real graph (external figure)
 //! ```
@@ -23,11 +24,25 @@
 //! graphs through the `piccolo-io` snapshot cache and appends the `external` figure —
 //! PR+BFS on both engines — so external graphs get `BENCH.json` rows and their
 //! `external/gm_{vc,ec}_piccolo` metrics can carry `baselines.json` floors.)
+//!
+//! Besides the hand-set floors, `--check` ratchets against the best committed values
+//! in the sibling `trajectory.json`: deterministic speedup metrics must never fall
+//! below the best the model has achieved. `--allow-regression` downgrades ratchet
+//! failures to warnings (static floors stay hard); `--update-ratchet` writes improved
+//! bests back to the file.
+//!
+//! `--intra-jobs N` (0 = all cores) splits each simulation's interior across `N`
+//! worker threads (`docs/parallelism.md`); rows and metrics are byte-identical for
+//! every `N`, and with `N > 1` the harness times one large unit serial-vs-parallel
+//! and records the wall-clock speedup in `BENCH.json`'s `intra` section.
 
 use piccolo::experiments::{self, Scale};
-use piccolo::sweep::{ExperimentSpec, SweepRunner};
+use piccolo::sweep::{effective_unit_jobs, ExperimentSpec, SweepRunner};
 use piccolo_algo::Algorithm;
-use piccolo_bench::{bench_json, check_floors, speedup_metrics, FigureBench};
+use piccolo_bench::{
+    bench_json, check_floors, check_trajectory, speedup_metrics, updated_trajectory, FigureBench,
+    IntraBench,
+};
 use piccolo_graph::Dataset;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -107,8 +122,11 @@ fn main() {
     let mut filter: Vec<String> = Vec::new();
     let mut quick = false;
     let mut jobs: usize = 1; // timing defaults to the sequential reference path
+    let mut intra_jobs: usize = 1; // threads inside each simulation; 0 = all cores
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut allow_regression = false;
+    let mut update_ratchet = false;
     let mut externals: Vec<(String, String)> = Vec::new();
     let mut snapshot_dir: Option<PathBuf> = None;
 
@@ -138,6 +156,16 @@ fn main() {
                 }
                 None => fail("--jobs needs a value"),
             },
+            "--intra-jobs" => match it.next() {
+                Some(v) => {
+                    intra_jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")))
+                }
+                None => fail("--intra-jobs needs a value"),
+            },
+            "--allow-regression" => allow_regression = true,
+            "--update-ratchet" => update_ratchet = true,
             "--json" => match it.next() {
                 Some(v) => json_path = Some(v.clone()),
                 None => fail("--json needs a path"),
@@ -154,7 +182,11 @@ fn main() {
     }
 
     let samples = if quick { 2 } else { 5 };
-    let runner = SweepRunner::new(jobs);
+    // Split the thread budget between unit-level workers and each simulation's
+    // interior; every split yields byte-identical rows (docs/parallelism.md).
+    piccolo::set_intra_jobs(intra_jobs);
+    let intra = piccolo::intra_jobs();
+    let runner = SweepRunner::new(effective_unit_jobs(jobs, intra));
     let mut benched: Vec<FigureBench> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
@@ -222,9 +254,43 @@ fn main() {
     }
     let stats = campaign.stats;
     println!(
-        "campaign capture: {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling",
-        stats.graphs_built, stats.builds_saved
+        "campaign capture: {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling; \
+         phases: {} scatter / {} apply DRAM clock(s)",
+        stats.graphs_built, stats.builds_saved, stats.scatter_mem_clocks, stats.apply_mem_clocks
     );
+
+    // With --intra-jobs > 1, time one large simulation unit with its interior serial
+    // and then split across the intra workers — the wall-clock speedup the two-level
+    // thread model buys on a single unit (recorded in BENCH.json, never gated on).
+    let intra_bench = if intra > 1 {
+        let g = Dataset::Sinaweibo.build(9, 7);
+        let sim = piccolo::Simulation::new(piccolo::SystemKind::Piccolo)
+            .configure(|c| c.with_max_iterations(3));
+        let pr = piccolo_algo::PageRank::default();
+        piccolo::set_intra_jobs(1);
+        let (serial, _) = time_runs(samples, || {
+            sim.run(&g, &pr);
+        });
+        piccolo::set_intra_jobs(intra);
+        let (parallel, _) = time_runs(samples, || {
+            sim.run(&g, &pr);
+        });
+        let bench = IntraBench {
+            jobs: intra,
+            serial_ns: serial.as_nanos() as u64,
+            parallel_ns: parallel.as_nanos() as u64,
+        };
+        println!(
+            "intra speedup (1 large unit): {} thread(s), serial {:.1} ms, parallel {:.1} ms, {:.2}x",
+            bench.jobs,
+            bench.serial_ns as f64 / 1e6,
+            bench.parallel_ns as f64 / 1e6,
+            bench.speedup()
+        );
+        Some(bench)
+    } else {
+        None
+    };
 
     if !metrics.is_empty() {
         println!();
@@ -235,7 +301,14 @@ fn main() {
     }
 
     if let Some(path) = &json_path {
-        let doc = bench_json(samples, runner.jobs(), &benched, &metrics, &stats);
+        let doc = bench_json(
+            samples,
+            runner.jobs(),
+            &benched,
+            &metrics,
+            &stats,
+            intra_bench.as_ref(),
+        );
         if let Err(e) = std::fs::write(path, doc) {
             fail(&format!("cannot write {path}: {e}"));
         }
@@ -273,6 +346,73 @@ fn main() {
                 eprintln!("  {f}");
             }
             std::process::exit(1);
+        }
+
+        // Trajectory ratchet: the sibling trajectory.json carries the best committed
+        // value of every tracked metric. Static floors above are the hard safety
+        // net; the ratchet additionally refuses silent give-back of achieved model
+        // quality (--allow-regression downgrades it to a warning, --update-ratchet
+        // commits improvements).
+        let trajectory_path = resolved.with_file_name("trajectory.json");
+        if trajectory_path.exists() {
+            let text = std::fs::read_to_string(&trajectory_path).unwrap_or_else(|e| {
+                fail(&format!("cannot read {}: {e}", trajectory_path.display()))
+            });
+            let full = piccolo::json::parse(&text).unwrap_or_else(|e| {
+                fail(&format!("cannot parse {}: {e}", trajectory_path.display()))
+            });
+            // Scope to the figures that ran, like the floors above.
+            let mut trajectory = full.clone();
+            if !filter.is_empty() {
+                if let piccolo::json::Json::Obj(pairs) = &mut trajectory {
+                    pairs.retain(|(key, _)| {
+                        benched
+                            .iter()
+                            .any(|f| key.starts_with(&format!("{}/", f.name)))
+                    });
+                }
+            }
+            let (failures, improved) =
+                check_trajectory(&metrics, &trajectory).unwrap_or_else(|e| {
+                    fail(&format!(
+                        "bad trajectory file {}: {e}",
+                        trajectory_path.display()
+                    ))
+                });
+            if failures.is_empty() {
+                println!(
+                    "trajectory ratchet holds ({} best value(s))",
+                    trajectory.as_object().map(<[_]>::len).unwrap_or(0)
+                );
+            } else {
+                eprintln!(
+                    "\ntrajectory regression(s) against {}:",
+                    trajectory_path.display()
+                );
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                if allow_regression {
+                    eprintln!("continuing despite trajectory regressions (--allow-regression)");
+                } else {
+                    eprintln!("re-run with --allow-regression to downgrade these to warnings");
+                    std::process::exit(1);
+                }
+            }
+            if update_ratchet && !improved.is_empty() {
+                // Update against the unfiltered file so a name filter can never drop
+                // other figures' committed bests.
+                let mut doc = updated_trajectory(&metrics, &full).to_string();
+                doc.push('\n');
+                if let Err(e) = std::fs::write(&trajectory_path, doc) {
+                    fail(&format!("cannot write {}: {e}", trajectory_path.display()));
+                }
+                println!(
+                    "ratcheted {} metric(s) in {}",
+                    improved.len(),
+                    trajectory_path.display()
+                );
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Reproduces the paper's tables and figures and prints their rows.
 //!
-//! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--out results.json]
-//! [--external NAME=PATH ...] [--snapshot-dir DIR]
+//! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N]
+//! [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR]
 //! [--shard I/N | --merge SHARD.json... | --resume JOURNAL]`
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default when no
@@ -10,9 +10,12 @@
 //! All requested figures run as **one campaign** (`piccolo::campaign`): their grids are
 //! flattened into a single global work queue, `--jobs N` shards it across `N` worker
 //! threads (default: all cores, `--jobs 1` forces the sequential reference path), and
-//! each distinct graph is built exactly once across the whole run. Output — both the
-//! printed rows and the optional `results.json` — is bit-identical for every worker
-//! count; CI diffs the outputs to enforce it. Scheduling stats (graphs built vs saved,
+//! each distinct graph is built exactly once across the whole run. `--intra-jobs M`
+//! additionally parallelizes the *interior* of each simulation across `M` threads
+//! (`docs/parallelism.md`); the `--jobs` budget is split so `unit workers x M` stays
+//! within it. Output — both the printed rows and the optional `results.json` — is
+//! bit-identical for every worker count *and* every intra-thread count; CI diffs the
+//! outputs to enforce it. Scheduling stats (graphs built vs saved,
 //! wall-clock) go to stderr as well, so they stay visible when stdout is redirected.
 //!
 //! Beyond threads, a campaign also splits across **OS processes** and **invocations**
@@ -38,14 +41,14 @@
 use piccolo::campaign::{merge_shards, CampaignStats, Shard};
 use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
 use piccolo::report::{results_json, FigureRows};
-use piccolo::sweep::SweepRunner;
+use piccolo::sweep::{effective_unit_jobs, SweepRunner};
 use std::path::PathBuf;
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [figure ...] [--quick|--full] [--jobs N] [--out results.json] \
-         [--external NAME=PATH ...] [--snapshot-dir DIR] \
+        "usage: repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N] \
+         [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR] \
          [--shard I/N | --merge SHARD.json... | --resume JOURNAL]"
     );
     std::process::exit(2);
@@ -74,14 +77,18 @@ fn stats_line(stats: &CampaignStats, jobs: usize, scale: Scale, secs: f64) -> St
         "campaign: {} figure(s), {} sim run(s), {} measure unit(s); \
          {} distinct graph(s) built once, {} build(s) saved vs per-figure scheduling, \
          {} evicted when their last consumer finished; \
-         {} worker(s), scale shift {}, {secs:.1} s",
+         phases: {} scatter / {} apply DRAM clock(s); \
+         {} worker(s) x {} intra, scale shift {}, {secs:.1} s",
         stats.figures,
         stats.sim_runs,
         stats.measure_units,
         stats.graphs_built,
         stats.builds_saved,
         stats.graphs_evicted,
+        stats.scatter_mem_clocks,
+        stats.apply_mem_clocks,
         jobs,
+        piccolo::intra_jobs(),
         scale.scale_shift,
     )
 }
@@ -99,6 +106,7 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut quick = false;
     let mut jobs: usize = 0; // 0 = all cores
+    let mut intra_jobs: usize = 1; // threads inside each simulation; 0 = all cores
     let mut out_path: Option<String> = None;
     let mut externals: Vec<(String, String)> = Vec::new();
     let mut snapshot_dir: Option<PathBuf> = None;
@@ -119,6 +127,14 @@ fn main() {
                         .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")))
                 }
                 None => fail("--jobs needs a value"),
+            },
+            "--intra-jobs" => match it.next() {
+                Some(v) => {
+                    intra_jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")))
+                }
+                None => fail("--intra-jobs needs a value"),
             },
             "--out" => match it.next() {
                 Some(v) => out_path = Some(v.clone()),
@@ -196,7 +212,11 @@ fn main() {
     let external_datasets =
         piccolo_bench::load_externals(&external_paths, &snapshot_dir).unwrap_or_else(|e| fail(&e));
 
-    let runner = SweepRunner::new(jobs);
+    // Two-level thread budget: --jobs is the total; each simulation gets --intra-jobs
+    // threads for its own scatter/apply interior and the unit-level pool gets the
+    // rest. Results are byte-identical for every split (docs/parallelism.md).
+    piccolo::set_intra_jobs(intra_jobs);
+    let runner = SweepRunner::new(effective_unit_jobs(jobs, piccolo::intra_jobs()));
     let started = std::time::Instant::now();
     let (mut specs, unknown) = default_specs(&figures, scale);
     for f in &unknown {

@@ -19,12 +19,22 @@ use std::path::{Path, PathBuf};
 /// and registers them in `piccolo_graph::external`, printing one status line per graph
 /// to stderr (`snapshot cache hit|miss|direct`, which CI greps). Returns the dataset
 /// handles in input order, so registry ids — and therefore output — are deterministic.
+///
+/// When a graph's snapshot *and* its `.meta` sidecar (fingerprint + counts, written on
+/// the first full load) both exist, the graph is registered **lazily**: identity,
+/// `spec()` and campaign plan hashing work from the sidecar metadata alone, and the
+/// CSR is only materialized if a simulation unit actually needs it. A fully-replayed
+/// `repro --resume` therefore never parses or even mmaps the graph payload.
 pub fn load_externals(
     externals: &[(String, PathBuf)],
     snapshot_dir: &Path,
 ) -> Result<Vec<Dataset>, String> {
     let mut datasets = Vec::new();
     for (name, path) in externals {
+        if let Some(ds) = register_lazy_from_sidecar(name, path, snapshot_dir) {
+            datasets.push(ds);
+            continue;
+        }
         let loaded = piccolo_io::load_graph_with(path, None, snapshot_dir)
             .map_err(|e| format!("cannot load external graph '{name}': {e}"))?;
         if loaded.graph.num_vertices() == 0 {
@@ -40,9 +50,119 @@ pub fn load_externals(
             loaded.graph.num_edges(),
             loaded.status
         );
-        datasets.push(piccolo_graph::external::register(name, loaded.graph));
+        let snapshot = loaded.snapshot.clone();
+        let ds = piccolo_graph::external::register(name, loaded.graph);
+        if let Some(snapshot) = snapshot {
+            write_meta_sidecar(&snapshot, ds);
+        }
+        datasets.push(ds);
     }
     Ok(datasets)
+}
+
+/// Metadata persisted next to a graph's snapshot (`<snapshot>.meta`, JSON with u64s as
+/// decimal strings): enough to register the graph lazily on later invocations. The
+/// snapshot filename is keyed by the source's content hash, so the sidecar can never
+/// describe different content than the snapshot beside it.
+struct SidecarMeta {
+    fingerprint: u64,
+    vertices: u64,
+    edges: u64,
+}
+
+fn meta_path(snapshot: &Path) -> PathBuf {
+    snapshot.with_extension("meta")
+}
+
+/// Best-effort: a failed sidecar write only means the next invocation loads eagerly.
+fn write_meta_sidecar(snapshot: &Path, ds: Dataset) {
+    let Dataset::External { id } = ds else {
+        return;
+    };
+    let (Some(fingerprint), Some((vertices, edges))) = (
+        piccolo_graph::external::content_fingerprint(id),
+        piccolo_graph::external::vertices_edges(id),
+    ) else {
+        return;
+    };
+    let json = Json::obj([
+        ("fingerprint", Json::str(fingerprint.to_string())),
+        ("vertices", Json::str(vertices.to_string())),
+        ("edges", Json::str(edges.to_string())),
+    ]);
+    let _ = std::fs::write(meta_path(snapshot), json.to_string() + "\n");
+}
+
+fn read_meta_sidecar(path: &Path) -> Option<SidecarMeta> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = piccolo::json::parse(&text).ok()?;
+    let field = |key: &str| json.get(key)?.as_str()?.parse::<u64>().ok();
+    Some(SidecarMeta {
+        fingerprint: field("fingerprint")?,
+        vertices: field("vertices")?,
+        edges: field("edges")?,
+    })
+}
+
+/// The sidecar fast path: if `path`'s snapshot and `.meta` sidecar both exist, register
+/// the graph lazily from the metadata and return its handle without touching the
+/// payload. Any miss (direct `.pcsr` input, no snapshot yet, unreadable sidecar) falls
+/// back to the eager load.
+fn register_lazy_from_sidecar(name: &str, path: &Path, snapshot_dir: &Path) -> Option<Dataset> {
+    if path.extension().and_then(|e| e.to_str()) == Some("pcsr") {
+        return None; // direct loads bypass the snapshot cache entirely
+    }
+    let format = piccolo_io::TextFormat::from_path(path);
+    let snapshot = piccolo_io::snapshot_path(path, format, snapshot_dir).ok()?;
+    if !snapshot.is_file() {
+        return None;
+    }
+    let meta = read_meta_sidecar(&meta_path(&snapshot))?;
+    if meta.vertices == 0 {
+        return None; // mirror the eager path's empty-graph rejection
+    }
+    eprintln!(
+        "external '{name}': {} ({} vertices, {} edges) snapshot cache hit (lazy)",
+        path.display(),
+        meta.vertices,
+        meta.edges,
+    );
+    let label = name.to_string();
+    let source = path.to_path_buf();
+    let dir = snapshot_dir.to_path_buf();
+    Some(piccolo_graph::external::register_lazy(
+        name,
+        meta.fingerprint,
+        meta.vertices,
+        meta.edges,
+        // Re-enter the snapshot cache on materialization: a healthy snapshot loads as
+        // a straight `.pcsr` hit; a corrupt one transparently re-parses the source.
+        move || match piccolo_io::load_graph_with(&source, None, &dir) {
+            Ok(loaded) => loaded.graph,
+            Err(e) => panic!("cannot load external graph '{label}': {e}"),
+        },
+    ))
+}
+
+/// Wall-clock measurement of one large simulation unit run with its interior serial
+/// and then split across `jobs` intra-run worker threads
+/// ([`piccolo::set_intra_jobs`]). Recorded in `BENCH.json`'s `intra` section; never
+/// ratchet-checked (wall-clock is machine-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntraBench {
+    /// Intra-run worker threads of the parallel sample.
+    pub jobs: usize,
+    /// Wall-clock of the serial-interior run, nanoseconds.
+    pub serial_ns: u64,
+    /// Wall-clock of the same run with `jobs` intra threads, nanoseconds.
+    pub parallel_ns: u64,
+}
+
+impl IntraBench {
+    /// Serial-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
 }
 
 /// Timing and rows of one benched figure.
@@ -141,8 +261,9 @@ pub fn bench_json(
     figures: &[FigureBench],
     metrics: &[(String, f64)],
     campaign: &CampaignStats,
+    intra: Option<&IntraBench>,
 ) -> String {
-    let doc = Json::obj([
+    let mut pairs: Vec<(&str, Json)> = vec![
         ("schema", Json::str("piccolo-bench/v1")),
         ("samples", Json::Num(samples as f64)),
         ("jobs", Json::Num(jobs as f64)),
@@ -154,8 +275,32 @@ pub fn bench_json(
                 ("graphs_built", Json::Num(campaign.graphs_built as f64)),
                 ("builds_saved", Json::Num(campaign.builds_saved as f64)),
                 ("graphs_evicted", Json::Num(campaign.graphs_evicted as f64)),
+                // Per-phase DRAM-clock breakdown of the captured campaign. Decimal
+                // strings like the results codec's counters, so they can never
+                // round past 2^53.
+                (
+                    "scatter_mem_clocks",
+                    Json::str(campaign.scatter_mem_clocks.to_string()),
+                ),
+                (
+                    "apply_mem_clocks",
+                    Json::str(campaign.apply_mem_clocks.to_string()),
+                ),
             ]),
         ),
+    ];
+    if let Some(intra) = intra {
+        pairs.push((
+            "intra",
+            Json::obj([
+                ("jobs", Json::Num(intra.jobs as f64)),
+                ("serial_ns", Json::str(intra.serial_ns.to_string())),
+                ("parallel_ns", Json::str(intra.parallel_ns.to_string())),
+                ("speedup", Json::Num(intra.speedup())),
+            ]),
+        ));
+    }
+    pairs.extend([
         (
             "figures",
             Json::Arr(
@@ -183,7 +328,7 @@ pub fn bench_json(
             ),
         ),
     ]);
-    let mut out = doc.to_string();
+    let mut out = Json::obj(pairs).to_string();
     out.push('\n');
     out
 }
@@ -212,6 +357,80 @@ pub fn check_floors(metrics: &[(String, f64)], baselines: &Json) -> Result<Vec<S
         }
     }
     Ok(failures)
+}
+
+/// Tolerance of the trajectory ratchet: deterministic metrics reproduce exactly, so
+/// this only absorbs shortest-round-trip printing of the committed bests.
+pub const TRAJECTORY_EPS: f64 = 1e-9;
+
+/// Checks measured metrics against the best previously committed values
+/// (`crates/bench/trajectory.json`, a flat metric -> best-value object). Unlike
+/// [`check_floors`]' hand-set static floors, the trajectory is a **ratchet**: the
+/// committed value is the best the model has ever achieved, and any measured value
+/// below it (beyond [`TRAJECTORY_EPS`]) is a regression. Metrics are deterministic
+/// model outputs, so "slightly below best" is a real behavior change, not noise.
+///
+/// Returns `(failures, improvements)`: failure messages (a tracked metric regressed
+/// or was not measured at all) and the metrics that beat their committed best (or are
+/// new), for `--update-ratchet`.
+#[allow(clippy::type_complexity)]
+pub fn check_trajectory(
+    metrics: &[(String, f64)],
+    trajectory: &Json,
+) -> Result<(Vec<String>, Vec<(String, f64)>), String> {
+    let pairs = trajectory
+        .as_object()
+        .ok_or("trajectory.json must be a flat JSON object of metric -> best value")?;
+    let mut failures = Vec::new();
+    let mut improved = Vec::new();
+    for (name, best) in pairs {
+        let best = best
+            .as_f64()
+            .ok_or_else(|| format!("trajectory entry '{name}' is not a number"))?;
+        match metrics.iter().find(|(k, _)| k == name) {
+            None => failures.push(format!(
+                "metric '{name}' was not measured (trajectory best {best})"
+            )),
+            Some((_, value)) if *value < best - TRAJECTORY_EPS => failures.push(format!(
+                "metric '{name}' fell below its best committed value: {value:.6} < {best:.6}"
+            )),
+            Some((_, value)) if *value > best + TRAJECTORY_EPS => {
+                improved.push((name.clone(), *value))
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, value) in metrics {
+        if !pairs.iter().any(|(k, _)| k == name) {
+            improved.push((name.clone(), *value));
+        }
+    }
+    Ok((failures, improved))
+}
+
+/// Builds the trajectory document that `--update-ratchet` writes back: every
+/// committed best raised to the measured value where the measurement beat it, plus
+/// newly measured metrics appended in measurement order. Existing keys keep their
+/// order, so the diff of an update is minimal.
+pub fn updated_trajectory(metrics: &[(String, f64)], trajectory: &Json) -> Json {
+    let existing = trajectory.as_object().unwrap_or(&[]);
+    let mut pairs: Vec<(String, Json)> = existing
+        .iter()
+        .map(|(name, best)| {
+            let best = best.as_f64().unwrap_or(f64::NEG_INFINITY);
+            let value = match metrics.iter().find(|(k, _)| k == name) {
+                Some((_, v)) if *v > best + TRAJECTORY_EPS => *v,
+                _ => best,
+            };
+            (name.clone(), Json::Num(value))
+        })
+        .collect();
+    for (name, value) in metrics {
+        if !pairs.iter().any(|(k, _)| k == name) {
+            pairs.push((name.clone(), Json::Num(*value)));
+        }
+    }
+    Json::Obj(pairs)
 }
 
 #[cfg(test)]
@@ -319,7 +538,14 @@ mod tests {
                 graphs_built: 1,
                 builds_saved: 0,
                 graphs_evicted: 1,
+                scatter_mem_clocks: (1 << 54) + 1, // not representable as f64
+                apply_mem_clocks: 12,
             },
+            Some(&IntraBench {
+                jobs: 4,
+                serial_ns: 1_000,
+                parallel_ns: 400,
+            }),
         );
         let v = parse(doc.trim()).unwrap();
         assert_eq!(
@@ -333,6 +559,17 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(
+            v.get("campaign")
+                .and_then(|c| c.get("scatter_mem_clocks"))
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<u64>().ok()),
+            Some((1 << 54) + 1),
+            "phase clocks ride as decimal strings"
+        );
+        let intra = v.get("intra").expect("intra section present when measured");
+        assert_eq!(intra.get("jobs").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(intra.get("speedup").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(
             v.get("metrics")
                 .and_then(|m| m.get("fig10/gm_piccolo"))
                 .and_then(Json::as_f64),
@@ -344,5 +581,169 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(12.0)
         );
+    }
+
+    #[test]
+    fn bench_json_omits_intra_when_not_measured() {
+        let doc = bench_json(1, 1, &[], &[], &CampaignStats::default(), None);
+        assert!(parse(doc.trim()).unwrap().get("intra").is_none());
+    }
+
+    #[test]
+    fn trajectory_ratchet_passes_fails_and_reports_improvements() {
+        let trajectory = parse(r#"{"fig10/gm_piccolo": 2.0, "fig18/gm_piccolo": 1.0}"#).unwrap();
+        // Matching the best exactly passes; beating it is an improvement; a brand-new
+        // metric is an improvement too.
+        let (failures, improved) = check_trajectory(
+            &[
+                ("fig10/gm_piccolo".to_string(), 2.0),
+                ("fig18/gm_piccolo".to_string(), 1.5),
+                ("fig11/gm_piccolo_lru".to_string(), 3.0),
+            ],
+            &trajectory,
+        )
+        .unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(
+            improved,
+            vec![
+                ("fig18/gm_piccolo".to_string(), 1.5),
+                ("fig11/gm_piccolo_lru".to_string(), 3.0),
+            ]
+        );
+        // Falling below the best — or not measuring a tracked metric — fails.
+        let (failures, _) =
+            check_trajectory(&[("fig10/gm_piccolo".to_string(), 1.999)], &trajectory).unwrap();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("below its best"));
+        assert!(failures[1].contains("not measured"));
+        // Sub-eps jitter is absorbed.
+        let (failures, improved) = check_trajectory(
+            &[
+                ("fig10/gm_piccolo".to_string(), 2.0 - 1e-12),
+                ("fig18/gm_piccolo".to_string(), 1.0 + 1e-12),
+            ],
+            &trajectory,
+        )
+        .unwrap();
+        assert!(failures.is_empty());
+        assert!(improved.is_empty());
+        assert!(check_trajectory(&[], &parse("[]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn updated_trajectory_raises_bests_and_appends_new_metrics() {
+        let trajectory = parse(r#"{"a": 2.0, "b": 1.0}"#).unwrap();
+        let updated = updated_trajectory(
+            &[
+                ("b".to_string(), 1.5),  // improved -> raised
+                ("a".to_string(), 0.5),  // regressed -> best kept
+                ("c".to_string(), 4.25), // new -> appended
+            ],
+            &trajectory,
+        );
+        let pairs = updated.as_object().unwrap();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, "a");
+        assert_eq!(pairs[0].1.as_f64(), Some(2.0));
+        assert_eq!(pairs[1].1.as_f64(), Some(1.5));
+        assert_eq!(pairs[2].0, "c");
+        assert_eq!(pairs[2].1.as_f64(), Some(4.25));
+    }
+
+    #[test]
+    fn sidecar_fast_path_registers_lazily_and_full_replay_never_materializes() {
+        use piccolo::experiments::{external_spec, Scale};
+        use piccolo::report::results_json;
+        use piccolo::sweep::SweepRunner;
+        use piccolo_graph::{external, generate, Dataset};
+        use std::io::Write as _;
+
+        let dir = std::env::temp_dir().join(format!("piccolo-bench-lazy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let edge_file = dir.join("lazy.tsv");
+        let cache_dir = dir.join("snaps");
+        let graph = generate::kronecker(11, 5, 31);
+        {
+            let mut f = std::fs::File::create(&edge_file).unwrap();
+            for e in graph.iter_edges() {
+                writeln!(f, "{}\t{}\t{}", e.src, e.dst, e.weight).unwrap();
+            }
+        }
+        let externals = [("bench-lazy-ext".to_string(), edge_file.clone())];
+
+        // First invocation: no snapshot yet, so the load is eager — and it leaves a
+        // `.meta` sidecar next to the snapshot for next time.
+        let ds = load_externals(&externals, &cache_dir).unwrap()[0];
+        let Dataset::External { id } = ds else {
+            panic!("load_externals returns External datasets");
+        };
+        assert_eq!(external::is_loaded(id), Some(true), "first load is eager");
+        // The text round trip may drop trailing isolated vertices, so the loaded
+        // graph — not the generator output — is the reference content.
+        let expected = (*ds.build_shared(0, 0)).clone();
+        let snapshot = piccolo_io::snapshot_path(
+            &edge_file,
+            piccolo_io::TextFormat::from_path(&edge_file),
+            &cache_dir,
+        )
+        .unwrap();
+        assert!(snapshot.is_file(), "the eager load wrote a snapshot");
+        assert!(meta_path(&snapshot).is_file(), "and a sidecar beside it");
+
+        // Journal a full campaign over the external graph.
+        let scale = Scale {
+            scale_shift: 13,
+            seed: 7,
+            max_iterations: 2,
+        };
+        let specs = [external_spec(scale, &[ds])];
+        let journal = dir.join("journal.jsonl");
+        let first = SweepRunner::sequential()
+            .run_campaign_resumed(scale, &specs, &journal)
+            .unwrap();
+        assert!(first.executed > 0);
+
+        // Second invocation: snapshot + sidecar exist, so registration is lazy (same
+        // id, graph not in memory) …
+        let ds2 = load_externals(&externals, &cache_dir).unwrap()[0];
+        assert_eq!(ds2, ds, "re-registration keeps the id");
+        assert_eq!(
+            external::is_loaded(id),
+            Some(false),
+            "sidecar fast path must not materialize the graph"
+        );
+        assert_eq!(ds.spec().paper_edges, expected.num_edges());
+        assert_eq!(
+            external::is_loaded(id),
+            Some(false),
+            "spec() is metadata-only"
+        );
+
+        // … and a fully-replayed resume finishes the campaign without ever running
+        // the loader: same bytes, zero graphs built or loaded.
+        let resumed = SweepRunner::sequential()
+            .run_campaign_resumed(scale, &specs, &journal)
+            .unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(resumed.replayed, first.executed + first.replayed);
+        assert_eq!(resumed.run.stats.graphs_built, 0);
+        assert_eq!(
+            external::is_loaded(id),
+            Some(false),
+            "a fully-replayed campaign never loads the external graph"
+        );
+        assert_eq!(
+            results_json(scale, &resumed.run.figures),
+            results_json(scale, &first.run.figures),
+            "replayed results are byte-identical"
+        );
+
+        // Materializing on demand still works and verifies against the sidecar.
+        assert_eq!(*ds.build_shared(0, 0), expected);
+        assert_eq!(external::is_loaded(id), Some(true));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -88,7 +88,7 @@ fn build_cost((dataset, scale_shift, _seed): GraphKey) -> u64 {
 /// log anywhere without breaking output parity). On a sharded or resumed campaign the
 /// counts cover the units this process actually **executed** — replayed journal slots
 /// and other shards' units are not in them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignStats {
     /// Figures in the campaign plan.
     pub figures: usize,
@@ -108,6 +108,12 @@ pub struct CampaignStats {
     /// memory is additionally owned by the process-global `piccolo_graph::external`
     /// registry, which keeps it for the life of the process.
     pub graphs_evicted: usize,
+    /// Simulated DRAM clocks the executed runs spent in the scatter phase (summed
+    /// over this process's executed simulation units — deterministic, like every
+    /// other field).
+    pub scatter_mem_clocks: u64,
+    /// Simulated DRAM clocks the executed runs spent in the apply phase.
+    pub apply_mem_clocks: u64,
 }
 
 /// Output of [`SweepRunner::run_campaign`]: every figure's rows plus scheduling stats.
@@ -486,6 +492,18 @@ fn execute_selected(
         }
     }
 
+    // Per-phase DRAM-clock totals over the executed runs, for the campaign stats
+    // line and BENCH.json (sums of deterministic per-run values, so output parity
+    // across worker counts is preserved).
+    let mut scatter_mem_clocks = 0u64;
+    let mut apply_mem_clocks = 0u64;
+    for slot in slots.iter().flatten() {
+        if let UnitResult::Run(run) = slot {
+            scatter_mem_clocks += run.phases.scatter_mem_clocks;
+            apply_mem_clocks += run.phases.apply_mem_clocks;
+        }
+    }
+
     let stats = CampaignStats {
         figures: specs.len(),
         sim_runs,
@@ -497,6 +515,8 @@ fn execute_selected(
         // Every key has >= 1 consumer (keys come from scheduled sim units), so a
         // completed campaign has evicted every graph it built.
         graphs_evicted,
+        scatter_mem_clocks,
+        apply_mem_clocks,
     };
     (slots, stats)
 }
@@ -871,6 +891,10 @@ mod tests {
     fn campaign_results_json_is_byte_identical_across_worker_counts() {
         let specs = shared_graph_specs();
         let reference = SweepRunner::sequential().run_campaign(&specs);
+        assert!(
+            reference.stats.scatter_mem_clocks > 0,
+            "executed sim runs must report scatter-phase clocks"
+        );
         let doc = results_json(tiny(), &reference.figures);
         for jobs in [2, 8] {
             let parallel = SweepRunner::new(jobs).run_campaign(&specs);

@@ -14,7 +14,7 @@
 use crate::experiments::Point;
 use crate::json::Json;
 use crate::sweep::UnitResult;
-use piccolo_accel::{RunResult, SystemKind};
+use piccolo_accel::{PhaseBreakdown, RunResult, SystemKind};
 use piccolo_cache::CacheStats;
 use piccolo_dram::MemStats;
 
@@ -118,6 +118,22 @@ fn cache_stats_from_json(v: &Json) -> Result<CacheStats, String> {
     })
 }
 
+fn phases_json(p: &PhaseBreakdown) -> Json {
+    Json::obj([
+        ("scatter_mem_clocks", u64_json(p.scatter_mem_clocks)),
+        ("apply_mem_clocks", u64_json(p.apply_mem_clocks)),
+        ("flush_mem_clocks", u64_json(p.flush_mem_clocks)),
+    ])
+}
+
+fn phases_from_json(v: &Json) -> Result<PhaseBreakdown, String> {
+    Ok(PhaseBreakdown {
+        scatter_mem_clocks: u64_field(v, "scatter_mem_clocks")?,
+        apply_mem_clocks: u64_field(v, "apply_mem_clocks")?,
+        flush_mem_clocks: u64_field(v, "flush_mem_clocks")?,
+    })
+}
+
 fn run_result_json(r: &RunResult) -> Json {
     Json::obj([
         ("system", Json::str(r.system.name())),
@@ -131,6 +147,7 @@ fn run_result_json(r: &RunResult) -> Json {
         ("cache_stats", cache_stats_json(&r.cache_stats)),
         ("tile_width", Json::Num(r.tile_width as f64)),
         ("num_tiles", Json::Num(r.num_tiles as f64)),
+        ("phases", phases_json(&r.phases)),
     ])
 }
 
@@ -152,6 +169,7 @@ fn run_result_from_json(v: &Json) -> Result<RunResult, String> {
         cache_stats: cache_stats_from_json(field(v, "cache_stats")?)?,
         tile_width: u32_field(v, "tile_width")?,
         num_tiles: u32_field(v, "num_tiles")?,
+        phases: phases_from_json(field(v, "phases")?)?,
     })
 }
 
@@ -240,6 +258,7 @@ mod tests {
             assert_eq!(back.elapsed_ns.to_bits(), run.elapsed_ns.to_bits());
             assert_eq!(back.mem_stats, run.mem_stats);
             assert_eq!(back.cache_stats, run.cache_stats);
+            assert_eq!(back.phases, run.phases);
         }
     }
 

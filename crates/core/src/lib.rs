@@ -49,9 +49,13 @@ pub use campaign::{
     merge_shards, plan_hash, CampaignRun, CampaignStats, ResumeRun, Shard, ShardRun,
 };
 pub use experiments::{Point, Scale};
-pub use piccolo_accel::{CacheKind, SimConfig, SystemKind, TilingPolicy};
+pub use piccolo_accel::{
+    intra_jobs, set_intra_jobs, CacheKind, PhaseBreakdown, SimConfig, SystemKind, TilingPolicy,
+};
 pub use report::{area_report, AreaReport, EnergyBreakdown, FigureRows, SimReport};
-pub use sweep::{ExperimentSpec, GraphKey, RunConfig, SweepRunner, TraversalKind};
+pub use sweep::{
+    effective_unit_jobs, ExperimentSpec, GraphKey, RunConfig, SweepRunner, TraversalKind,
+};
 
 use piccolo_algo::VertexProgram;
 use piccolo_graph::Csr;
@@ -87,13 +91,21 @@ impl Simulation {
     }
 
     /// Runs `program` on `graph` and returns the full report.
-    pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> SimReport {
+    pub fn run<P>(&self, graph: &Csr, program: &P) -> SimReport
+    where
+        P: VertexProgram + Sync,
+        P::Value: Send + Sync,
+    {
         let result = piccolo_accel::simulate(graph, program, &self.cfg);
         SimReport::from_run(result, &self.cfg.dram)
     }
 
     /// Runs `program` with the edge-centric accelerator variant (Fig. 19a).
-    pub fn run_edge_centric<P: VertexProgram>(&self, graph: &Csr, program: &P) -> SimReport {
+    pub fn run_edge_centric<P>(&self, graph: &Csr, program: &P) -> SimReport
+    where
+        P: VertexProgram + Sync,
+        P::Value: Send + Sync,
+    {
         let result = piccolo_accel::simulate_edge_centric(graph, program, &self.cfg);
         SimReport::from_run(result, &self.cfg.dram)
     }

@@ -103,6 +103,38 @@ impl BitSet {
         }
     }
 
+    /// Calls `f` for every element in increasing order.
+    ///
+    /// This is the word-level scan behind frontier iteration: each 64-bit word is
+    /// consumed with `trailing_zeros` + clear-lowest-bit, so cost scales with the number
+    /// of set bits (plus one branch per word), not with capacity — and unlike
+    /// [`Self::iter`] there is no per-element iterator state to maintain.
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (word_idx, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(word_idx * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Adds every element of `other` to this set (word-wise `|=`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "bitset capacity mismatch in union_with"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
     /// Sets all of `0..capacity()`.
     pub fn fill(&mut self) {
         for (i, w) in self.words.iter_mut().enumerate() {
@@ -226,5 +258,60 @@ mod tests {
     fn insert_out_of_range_panics() {
         let mut s = BitSet::new(10);
         s.insert(10);
+    }
+
+    #[test]
+    fn word_scan_matches_per_bit_probe_property_loop() {
+        // Property loop: for random sets of varied density and capacity (including
+        // word-boundary capacities), the word-level scan visits exactly the elements a
+        // per-bit `contains` probe finds, in the same ascending order as `iter()`.
+        let mut rng = crate::rng::Rng64::seed_from_u64(0x5eed_b175);
+        for case in 0..200u64 {
+            let cap = (rng.next_u64() % 300) as usize + [0, 1, 63, 64, 65][case as usize % 5];
+            let mut s = BitSet::new(cap);
+            if cap > 0 {
+                let inserts = rng.next_u64() % (cap as u64 * 2);
+                for _ in 0..inserts {
+                    s.insert((rng.next_u64() % cap as u64) as usize);
+                }
+            }
+            let mut scanned = Vec::new();
+            s.for_each_set(|i| scanned.push(i));
+            let probed: Vec<usize> = (0..cap).filter(|&i| s.contains(i)).collect();
+            let iterated: Vec<usize> = s.iter().collect();
+            assert_eq!(scanned, probed, "cap {cap}");
+            assert_eq!(scanned, iterated, "cap {cap}");
+            assert_eq!(scanned.len(), s.count(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn union_with_is_bitwise_or() {
+        let mut rng = crate::rng::Rng64::seed_from_u64(0xfeed);
+        for _ in 0..50 {
+            let cap = (rng.next_u64() % 200) as usize + 1;
+            let mut a = BitSet::new(cap);
+            let mut b = BitSet::new(cap);
+            for _ in 0..cap {
+                if rng.next_u64().is_multiple_of(3) {
+                    a.insert((rng.next_u64() % cap as u64) as usize);
+                }
+                if rng.next_u64().is_multiple_of(3) {
+                    b.insert((rng.next_u64() % cap as u64) as usize);
+                }
+            }
+            let mut merged = a.clone();
+            merged.union_with(&b);
+            for i in 0..cap {
+                assert_eq!(merged.contains(i), a.contains(i) || b.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_with_capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        a.union_with(&BitSet::new(11));
     }
 }

@@ -14,6 +14,18 @@
 //! any worker count. Re-registering an existing name replaces the graph and keeps the
 //! id, so a repeated load is idempotent.
 //!
+//! # Lazy registration
+//!
+//! A graph can also be registered by **metadata only** ([`register_lazy`]): name,
+//! structural fingerprint and vertex/edge counts, plus a loader closure that produces
+//! the CSR on demand. Everything identity-shaped — [`name`], [`lookup`],
+//! [`content_fingerprint`], [`vertices_edges`], and therefore campaign plan hashing
+//! and `Dataset::spec()` — works without materializing the graph. The loader runs at
+//! most once, on the first [`graph`] call; until then a resumed campaign whose journal
+//! already covers every unit of that graph never pays the load. The loaded CSR is
+//! verified against the registered fingerprint and counts, so a stale loader source is
+//! an error, never silent wrong results.
+//!
 //! # Example
 //!
 //! ```
@@ -27,20 +39,38 @@
 //! ```
 
 use crate::{Csr, Dataset};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Materialization state of a registry entry.
+enum GraphState {
+    /// The CSR is in memory (eager registration, or a lazy load that completed).
+    Loaded(Arc<Csr>),
+    /// A thread is running the lazy loader right now; other accessors block on the
+    /// registry condvar until it finishes.
+    Loading,
+    /// Registered by metadata only; the boxed loader runs on first [`graph`] access.
+    Lazy(Box<dyn FnOnce() -> Csr + Send>),
+    /// The lazy loader panicked (or produced content that contradicts the registered
+    /// fingerprint); every subsequent access propagates the failure.
+    Failed,
+}
 
 struct Entry {
     name: String,
-    graph: Arc<Csr>,
-    /// Structural content hash, computed once at registration (O(edges)) so plan
-    /// fingerprints over external graphs are a constant-size fold per invocation.
+    state: GraphState,
+    /// Structural content hash: computed at [`register`] time (O(edges)), or supplied
+    /// by the caller of [`register_lazy`] and verified when the loader runs. Either
+    /// way, plan fingerprints over external graphs are a constant-size fold per
+    /// invocation and never force a load.
     fingerprint: u64,
+    vertices: u64,
+    edges: u64,
 }
 
 /// FNV-1a 64 over the graph's structure: vertex/edge counts and every `(src, dst,
 /// weight)` triple in CSR order. Self-contained (this crate sits below `piccolo-io`,
 /// whose hashing helpers therefore cannot be reused here) and stable across platforms.
-fn csr_fingerprint(graph: &Csr) -> u64 {
+pub(crate) fn csr_fingerprint(graph: &Csr) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -60,9 +90,40 @@ fn csr_fingerprint(graph: &Csr) -> u64 {
     h
 }
 
-fn registry() -> &'static Mutex<Vec<Entry>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    /// Signalled whenever an entry leaves the [`GraphState::Loading`] state.
+    loaded: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: Mutex::new(Vec::new()),
+        loaded: Condvar::new(),
+    })
+}
+
+/// Locks the entry table, tolerating poison: every mutation of the table is a single
+/// whole-entry or whole-state write, so a panic elsewhere (e.g. a [`GraphState::Failed`]
+/// propagation) never leaves a half-updated entry behind.
+fn lock_entries(reg: &Registry) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+    reg.entries.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Inserts `entry` under its name: replaces in place (keeping the id) if the name is
+/// already registered, appends (assigning the next id) otherwise.
+fn insert(entry: Entry) -> Dataset {
+    let reg = registry();
+    let mut entries = lock_entries(reg);
+    if let Some(id) = entries.iter().position(|e| e.name == entry.name) {
+        entries[id] = entry;
+        return Dataset::External { id: id as u32 };
+    }
+    entries.push(entry);
+    Dataset::External {
+        id: (entries.len() - 1) as u32,
+    }
 }
 
 /// Registers `graph` under `name` and returns the [`Dataset::External`] handle for it.
@@ -72,28 +133,45 @@ fn registry() -> &'static Mutex<Vec<Entry>> {
 /// for the life of the process.
 pub fn register(name: &str, graph: Csr) -> Dataset {
     let fingerprint = csr_fingerprint(&graph);
-    let mut entries = registry().lock().unwrap();
-    let graph = Arc::new(graph);
-    if let Some(id) = entries.iter().position(|e| e.name == name) {
-        entries[id].graph = graph;
-        entries[id].fingerprint = fingerprint;
-        return Dataset::External { id: id as u32 };
-    }
-    entries.push(Entry {
+    let vertices = graph.num_vertices() as u64;
+    let edges = graph.num_edges();
+    insert(Entry {
         name: name.to_string(),
-        graph,
+        state: GraphState::Loaded(Arc::new(graph)),
         fingerprint,
-    });
-    Dataset::External {
-        id: (entries.len() - 1) as u32,
-    }
+        vertices,
+        edges,
+    })
+}
+
+/// Registers a graph by metadata only; `loader` runs (at most once) on the first
+/// [`graph`] access.
+///
+/// `fingerprint`, `vertices` and `edges` must describe the graph `loader` will
+/// produce — they come from a previous full load of the same content (the bench
+/// drivers persist them in a snapshot sidecar). The loaded CSR is checked against all
+/// three; a mismatch poisons the entry and panics, because silently simulating a
+/// different graph than the one the campaign plan was hashed over would corrupt
+/// results. Name/id semantics match [`register`].
+pub fn register_lazy(
+    name: &str,
+    fingerprint: u64,
+    vertices: u64,
+    edges: u64,
+    loader: impl FnOnce() -> Csr + Send + 'static,
+) -> Dataset {
+    insert(Entry {
+        name: name.to_string(),
+        state: GraphState::Lazy(Box::new(loader)),
+        fingerprint,
+        vertices,
+        edges,
+    })
 }
 
 /// Looks up a previously registered name; `None` if it was never registered.
 pub fn lookup(name: &str) -> Option<Dataset> {
-    registry()
-        .lock()
-        .unwrap()
+    lock_entries(registry())
         .iter()
         .position(|e| e.name == name)
         .map(|id| Dataset::External { id: id as u32 })
@@ -101,32 +179,111 @@ pub fn lookup(name: &str) -> Option<Dataset> {
 
 /// The name `id` was registered under, if any.
 pub fn name(id: u32) -> Option<String> {
-    registry()
-        .lock()
-        .unwrap()
+    lock_entries(registry())
         .get(id as usize)
         .map(|e| e.name.clone())
 }
 
+/// Vertex and edge counts of `id`'s graph, if registered — available without
+/// materializing a lazily-registered graph.
+pub fn vertices_edges(id: u32) -> Option<(u64, u64)> {
+    lock_entries(registry())
+        .get(id as usize)
+        .map(|e| (e.vertices, e.edges))
+}
+
+/// Whether `id`'s graph is currently materialized in memory. `None` if `id` was never
+/// registered. Lazily-registered graphs report `false` until the first [`graph`] call.
+pub fn is_loaded(id: u32) -> Option<bool> {
+    lock_entries(registry())
+        .get(id as usize)
+        .map(|e| matches!(e.state, GraphState::Loaded(_)))
+}
+
 /// The registered graph for `id`, if any. The `Arc` is shared with the registry, so
 /// handing it to a consumer does not copy the CSR.
+///
+/// A lazily-registered graph is materialized here: the loader runs **outside** the
+/// registry lock (other names stay accessible during a long parse), concurrent callers
+/// for the same id block until it finishes, and the result is verified against the
+/// registered fingerprint and counts before anyone sees it.
+///
+/// # Panics
+///
+/// If the lazy loader panics or produces content that does not match the registered
+/// metadata — on the loading thread and on every subsequent access to the same id.
 pub fn graph(id: u32) -> Option<Arc<Csr>> {
-    registry()
-        .lock()
-        .unwrap()
-        .get(id as usize)
-        .map(|e| Arc::clone(&e.graph))
+    let reg = registry();
+    let mut entries = lock_entries(reg);
+    loop {
+        let entry = entries.get_mut(id as usize)?;
+        match &mut entry.state {
+            GraphState::Loaded(g) => return Some(Arc::clone(g)),
+            GraphState::Failed => {
+                let name = entry.name.clone();
+                // Release the lock before panicking so the registry stays usable for
+                // other graphs (and other tests in the same process).
+                drop(entries);
+                panic!("lazy load of external graph '{name}' failed");
+            }
+            GraphState::Loading => {
+                entries = reg.loaded.wait(entries).unwrap_or_else(|e| e.into_inner());
+            }
+            state @ GraphState::Lazy(_) => {
+                let GraphState::Lazy(loader) = std::mem::replace(state, GraphState::Loading) else {
+                    unreachable!("matched Lazy above");
+                };
+                let name = entry.name.clone();
+                let expected = (entry.fingerprint, entry.vertices, entry.edges);
+                drop(entries);
+
+                // If the loader (or the verification below) panics, mark the entry
+                // failed and wake waiters before the panic continues unwinding —
+                // otherwise concurrent callers would block on `Loading` forever.
+                struct FailGuard(u32);
+                impl Drop for FailGuard {
+                    fn drop(&mut self) {
+                        let reg = registry();
+                        if let Some(e) = lock_entries(reg).get_mut(self.0 as usize) {
+                            e.state = GraphState::Failed;
+                        }
+                        reg.loaded.notify_all();
+                    }
+                }
+                let guard = FailGuard(id);
+                let graph = loader();
+                let actual = (
+                    csr_fingerprint(&graph),
+                    graph.num_vertices() as u64,
+                    graph.num_edges(),
+                );
+                assert_eq!(
+                    actual, expected,
+                    "lazy loader for external graph '{name}' produced different content \
+                     (fingerprint, vertices, edges) than was registered"
+                );
+                std::mem::forget(guard);
+
+                let graph = Arc::new(graph);
+                let mut entries = lock_entries(reg);
+                if let Some(e) = entries.get_mut(id as usize) {
+                    e.state = GraphState::Loaded(Arc::clone(&graph));
+                }
+                reg.loaded.notify_all();
+                return Some(graph);
+            }
+        }
+    }
 }
 
 /// The structural content hash of `id`'s registered graph, if any — computed once at
-/// [`register`] time. Two registrations with equal fingerprints hold identical graphs
-/// (same counts, same `(src, dst, weight)` sequence), which is what campaign plan
-/// hashing folds in so stale shard files / journal entries computed over an edited
-/// external source are refused without re-hashing the graph per invocation.
+/// [`register`] time (or carried over from the sidecar for [`register_lazy`]). Two
+/// registrations with equal fingerprints hold identical graphs (same counts, same
+/// `(src, dst, weight)` sequence), which is what campaign plan hashing folds in so
+/// stale shard files / journal entries computed over an edited external source are
+/// refused without re-hashing — or even loading — the graph per invocation.
 pub fn content_fingerprint(id: u32) -> Option<u64> {
-    registry()
-        .lock()
-        .unwrap()
+    lock_entries(registry())
         .get(id as usize)
         .map(|e| e.fingerprint)
 }
@@ -135,6 +292,7 @@ pub fn content_fingerprint(id: u32) -> Option<u64> {
 mod tests {
     use super::*;
     use crate::generate;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn register_assigns_stable_ids_and_replaces_by_name() {
@@ -149,6 +307,10 @@ mod tests {
         };
         assert_eq!(name(ida).as_deref(), Some("ext-test-a"));
         assert_eq!(*graph(ida).unwrap(), g1);
+        assert_eq!(
+            vertices_edges(ida),
+            Some((g1.num_vertices() as u64, g1.num_edges()))
+        );
         // Re-registering the same name keeps the id and replaces the graph — and the
         // content fingerprint follows the content, not the id.
         let fp1 = content_fingerprint(ida).unwrap();
@@ -171,5 +333,74 @@ mod tests {
         assert_eq!(name(u32::MAX), None);
         assert!(graph(u32::MAX).is_none());
         assert!(content_fingerprint(u32::MAX).is_none());
+        assert!(vertices_edges(u32::MAX).is_none());
+        assert!(is_loaded(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn lazy_registration_defers_the_load_until_first_graph_access() {
+        let g = generate::uniform(300, 1200, 5);
+        let fp = csr_fingerprint(&g);
+        let loads = Arc::new(AtomicUsize::new(0));
+        let loader = {
+            let g = g.clone();
+            let loads = Arc::clone(&loads);
+            move || {
+                loads.fetch_add(1, Ordering::SeqCst);
+                g
+            }
+        };
+        let ds = register_lazy(
+            "ext-test-lazy",
+            fp,
+            g.num_vertices() as u64,
+            g.num_edges(),
+            loader,
+        );
+        let Dataset::External { id } = ds else {
+            panic!("register_lazy returns an External dataset");
+        };
+
+        // Everything identity-shaped works without running the loader.
+        assert_eq!(lookup("ext-test-lazy"), Some(ds));
+        assert_eq!(name(id).as_deref(), Some("ext-test-lazy"));
+        assert_eq!(content_fingerprint(id), Some(fp));
+        assert_eq!(
+            vertices_edges(id),
+            Some((g.num_vertices() as u64, g.num_edges()))
+        );
+        assert_eq!(is_loaded(id), Some(false));
+        assert_eq!(loads.load(Ordering::SeqCst), 0, "no access, no load");
+
+        // First graph() call materializes; later calls share the Arc.
+        assert_eq!(*graph(id).unwrap(), g);
+        assert_eq!(is_loaded(id), Some(true));
+        assert_eq!(*graph(id).unwrap(), g);
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            1,
+            "the loader ran exactly once"
+        );
+    }
+
+    #[test]
+    fn lazy_loader_with_wrong_content_poisons_the_entry() {
+        let real = generate::uniform(128, 400, 9);
+        let other = generate::uniform(128, 400, 10);
+        let ds = register_lazy(
+            "ext-test-lazy-bad",
+            csr_fingerprint(&real),
+            real.num_vertices() as u64,
+            real.num_edges(),
+            move || other,
+        );
+        let Dataset::External { id } = ds else {
+            panic!("register_lazy returns an External dataset");
+        };
+        let first = std::panic::catch_unwind(|| graph(id));
+        assert!(first.is_err(), "fingerprint mismatch must panic");
+        // The entry is poisoned: later accesses fail too instead of hanging.
+        let second = std::panic::catch_unwind(|| graph(id));
+        assert!(second.is_err(), "a failed load stays failed");
     }
 }

@@ -161,6 +161,12 @@ impl ActiveSet {
         self.members.iter().map(|v| v as VertexId)
     }
 
+    /// Visits the active vertices in ascending order via the word-level bitset scan
+    /// ([`BitSet::for_each_set`]) — the fast path for building frontier lists.
+    pub fn for_each_sorted(&self, mut f: impl FnMut(VertexId)) {
+        self.members.for_each_set(|v| f(v as VertexId));
+    }
+
     /// Fraction of vertices that are active.
     pub fn density(&self) -> f64 {
         if self.num_vertices() == 0 {

@@ -1,0 +1,126 @@
+//! Intra-run parallelism determinism (ISSUE PR 6 acceptance).
+//!
+//! The accelerator pipeline may split the scatter and apply phases of one simulation
+//! across worker threads, but every observable output — functional values, simulated
+//! cycle counts, memory statistics, per-phase breakdown — must be byte-identical for
+//! any worker count, on both traversal orders. These tests pin that contract by
+//! comparing the full `Debug` rendering of `RunResult` across intra-thread counts
+//! {1, 2, 4, 8}.
+
+use piccolo_accel::{
+    resolve_tiling, set_intra_jobs, simulate, simulate_edge_centric, RunResult, SimConfig,
+    SystemKind,
+};
+use piccolo_algo::{Bfs, PageRank, Sssp, VertexProgram};
+use piccolo_graph::{generate, Csr};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the process-global intra-jobs knob so concurrently
+/// running tests cannot stomp each other's worker count.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_identical_across_thread_counts<P>(
+    label: &str,
+    graph: &Csr,
+    program: &P,
+    cfg: &SimConfig,
+    run: impl Fn(&Csr, &P, &SimConfig) -> RunResult,
+) where
+    P: VertexProgram + Sync,
+    P::Value: Send + Sync,
+{
+    let _guard = knob_lock();
+    let mut baseline: Option<String> = None;
+    for jobs in THREAD_COUNTS {
+        set_intra_jobs(jobs);
+        let result = run(graph, program, cfg);
+        assert!(
+            result.phases.scatter_mem_clocks > 0,
+            "{label}: scatter phase must account for memory clocks at {jobs} jobs"
+        );
+        assert!(
+            result.phases.total() >= result.phases.scatter_mem_clocks,
+            "{label}: phase total must cover all phases at {jobs} jobs"
+        );
+        let rendered = format!("{result:?}");
+        match &baseline {
+            None => baseline = Some(rendered),
+            Some(expected) => assert_eq!(
+                expected, &rendered,
+                "{label}: RunResult diverged between 1 and {jobs} intra jobs"
+            ),
+        }
+    }
+    set_intra_jobs(1);
+}
+
+#[test]
+fn vertex_centric_results_identical_across_intra_thread_counts() {
+    let g = generate::kronecker(13, 6, 11);
+    let cfg = SimConfig::for_system(SystemKind::Piccolo, 12).with_max_iterations(4);
+    assert!(
+        resolve_tiling(&cfg, g.num_vertices()).num_tiles() > 1,
+        "test graph must span multiple tiles or the parallel path is never exercised"
+    );
+    assert_identical_across_thread_counts("vc/pagerank", &g, &PageRank::default(), &cfg, simulate);
+    assert_identical_across_thread_counts("vc/bfs", &g, &Bfs::new(0), &cfg, simulate);
+}
+
+#[test]
+fn vertex_centric_sparse_frontier_identical_across_intra_thread_counts() {
+    // SSSP keeps the frontier sparse for many iterations, exercising the sparse
+    // frontier-read path and partially-active tiles under parallel scatter.
+    let g = generate::kronecker(12, 5, 3);
+    let cfg = SimConfig::for_system(SystemKind::Piccolo, 12).with_max_iterations(8);
+    assert_identical_across_thread_counts("vc/sssp", &g, &Sssp::new(0), &cfg, simulate);
+}
+
+#[test]
+fn edge_centric_results_identical_across_intra_thread_counts() {
+    let g = generate::kronecker(12, 6, 4);
+    let cfg = SimConfig::for_system(SystemKind::Piccolo, 12).with_max_iterations(3);
+    assert_identical_across_thread_counts(
+        "ec/pagerank",
+        &g,
+        &PageRank::default(),
+        &cfg,
+        simulate_edge_centric,
+    );
+    assert_identical_across_thread_counts("ec/bfs", &g, &Bfs::new(0), &cfg, simulate_edge_centric);
+}
+
+#[test]
+fn conventional_systems_identical_across_intra_thread_counts() {
+    // Baseline (non-fine-grained) systems share the same pipeline interior; pin one.
+    let g = generate::kronecker(12, 6, 9);
+    let cfg = SimConfig::for_system(SystemKind::GraphDynsCache, 12).with_max_iterations(3);
+    assert_identical_across_thread_counts(
+        "conv/pagerank",
+        &g,
+        &PageRank::default(),
+        &cfg,
+        simulate,
+    );
+}
+
+#[test]
+fn zero_requests_available_parallelism() {
+    // `set_intra_jobs(0)` resolves to the machine's available parallelism and still
+    // produces identical results.
+    let _guard = knob_lock();
+    let g = generate::kronecker(11, 5, 2);
+    let cfg = SimConfig::for_system(SystemKind::Piccolo, 12).with_max_iterations(3);
+    set_intra_jobs(1);
+    let serial = format!("{:?}", simulate(&g, &PageRank::default(), &cfg));
+    set_intra_jobs(0);
+    assert!(piccolo_accel::intra_jobs() >= 1);
+    let auto = format!("{:?}", simulate(&g, &PageRank::default(), &cfg));
+    set_intra_jobs(1);
+    assert_eq!(serial, auto);
+}
