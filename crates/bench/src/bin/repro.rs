@@ -284,10 +284,12 @@ fn main() {
                     fail(&format!("cannot use journal {}: {e}", journal.display()))
                 });
             let note = format!(
-                "resume: {} unit(s) replayed from {}, {} executed this run{}",
+                "resume: {} unit(s) replayed from {}, {} executed this run, \
+                 {} journaled graph build(s) skipped{}",
                 resumed.replayed,
                 journal.display(),
                 resumed.executed,
+                resumed.builds_skipped,
                 if resumed.corrupt + resumed.mismatched > 0 {
                     format!(
                         " ({} corrupt line(s) and {} foreign entr(ies) ignored)",

@@ -248,13 +248,47 @@ pub fn speedup_metrics(figure: &str, points: &[Point]) -> Vec<(String, f64)> {
     }
 }
 
+/// Peak memory of this process so far, from `/proc/self/status` (Linux): `VmHWM` is
+/// the resident-set high-water mark, `VmPeak` the address-space peak (which includes
+/// file-backed `.pcsr` mappings the kernel can drop at will — the out-of-core paths
+/// keep `VmHWM` small while `VmPeak` tracks the mapped bytes). `None` off Linux or if
+/// the fields are missing — callers omit the section rather than report zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// `VmHWM`: peak resident set size, in KiB.
+    pub peak_rss_kb: u64,
+    /// `VmPeak`: peak virtual address-space size, in KiB.
+    pub vm_peak_kb: u64,
+}
+
+/// Reads [`MemoryStats`] for the current process. See the struct docs for semantics.
+pub fn memory_stats() -> Option<MemoryStats> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |name: &str| -> Option<u64> {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))?
+            .split_whitespace()
+            .nth(1)?
+            .parse()
+            .ok()
+    };
+    Some(MemoryStats {
+        peak_rss_kb: field("VmHWM:")?,
+        vm_peak_kb: field("VmPeak:")?,
+    })
+}
+
 /// Serializes a bench run into the `BENCH.json` document (schema `piccolo-bench/v1`).
 ///
 /// Unlike `results.json` this document *does* carry wall-clock numbers (`min_ms`,
 /// `mean_ms`, `jobs`) — it tracks the perf trajectory of the harness itself and is
 /// uploaded as a CI artifact, never byte-compared. `campaign` records the scheduling
 /// stats of the row-capture campaign (graphs built once vs builds saved), so dedup
-/// regressions are visible in the artifact history.
+/// regressions are visible in the artifact history. On Linux a `memory` section
+/// reports the process peak RSS / address space ([`memory_stats`], sampled at
+/// serialization time — after every figure has run), which the out-of-core CI job
+/// greps to prove a capped run stayed capped.
 pub fn bench_json(
     samples: u32,
     jobs: usize,
@@ -297,6 +331,15 @@ pub fn bench_json(
                 ("serial_ns", Json::str(intra.serial_ns.to_string())),
                 ("parallel_ns", Json::str(intra.parallel_ns.to_string())),
                 ("speedup", Json::Num(intra.speedup())),
+            ]),
+        ));
+    }
+    if let Some(memory) = memory_stats() {
+        pairs.push((
+            "memory",
+            Json::obj([
+                ("peak_rss_kb", Json::str(memory.peak_rss_kb.to_string())),
+                ("vm_peak_kb", Json::str(memory.vm_peak_kb.to_string())),
             ]),
         ));
     }
@@ -587,6 +630,23 @@ mod tests {
     fn bench_json_omits_intra_when_not_measured() {
         let doc = bench_json(1, 1, &[], &[], &CampaignStats::default(), None);
         assert!(parse(doc.trim()).unwrap().get("intra").is_none());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn bench_json_reports_peak_memory_on_linux() {
+        let stats = memory_stats().expect("/proc/self/status has VmHWM and VmPeak");
+        assert!(stats.peak_rss_kb > 0);
+        assert!(stats.vm_peak_kb >= stats.peak_rss_kb);
+        let doc = bench_json(1, 1, &[], &[], &CampaignStats::default(), None);
+        let memory = parse(doc.trim()).unwrap();
+        let memory = memory.get("memory").expect("memory section on linux");
+        let kb = memory
+            .get("peak_rss_kb")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap();
+        assert!(kb >= stats.peak_rss_kb, "peak rss only grows");
     }
 
     #[test]

@@ -28,8 +28,9 @@
 //!    by their scheduled consumer count: the last grid unit to finish with a graph
 //!    evicts it from the store, so a graph's CSR is dropped the moment nothing in the
 //!    campaign needs it instead of staying pinned until the campaign ends. (For
-//!    [`piccolo_graph::external`] graphs the registry keeps its own `Arc` for the
-//!    life of the process; eviction releases the campaign's handle.) Eviction can
+//!    [`piccolo_graph::external`] graphs eviction also releases the registry's pin —
+//!    [`piccolo_graph::external::release`] — so a lazily-registered graph's memory is
+//!    actually returned mid-process, not held until exit.) Eviction can
 //!    never cause a rebuild — a post-eviction wait is a loud panic, not a rebuild, and
 //!    the build-counting tests pin exactly one build per key with eviction active.
 //! 3. **Results land by `(figure, unit index)` slot**, and derived rows (speedups,
@@ -104,9 +105,10 @@ pub struct CampaignStats {
     pub builds_saved: usize,
     /// Graphs evicted from the shared store mid-campaign, when their last scheduled
     /// consumer finished. Always equals `graphs_built` on a completed campaign.
-    /// Synthetic stand-ins are freed outright at that point; an external graph's
-    /// memory is additionally owned by the process-global `piccolo_graph::external`
-    /// registry, which keeps it for the life of the process.
+    /// Synthetic stand-ins are freed outright at that point; for external graphs the
+    /// eviction also drops the `piccolo_graph::external` registry's pin, so a
+    /// lazily-registered graph's memory is returned once in-flight units drop their
+    /// handles (eagerly-registered graphs stay pinned — the registry is their owner).
     pub graphs_evicted: usize,
     /// Simulated DRAM clocks the executed runs spent in the scatter phase (summed
     /// over this process's executed simulation units — deterministic, like every
@@ -311,12 +313,24 @@ impl GraphStore {
 
     /// Signals that one consumer of `key` has finished; the last consumer drops the
     /// graph. Eviction only moves `Ready -> Evicted` — a failed slot stays failed.
+    ///
+    /// For [`Dataset::External`] graphs the store's `Arc` is shared with the external
+    /// registry, which pins the graph for the life of the process by default — so
+    /// eviction here also asks the registry to drop its strong pin
+    /// ([`piccolo_graph::external::release`]). A lazily-registered graph (the
+    /// out-of-core bench path) is then freed the moment the last in-flight unit drops
+    /// its handle, and its retained loader re-materializes it if a later campaign in
+    /// the same process needs it again.
     fn release(&self, key: GraphKey) {
         let slot = &self.slots[&key];
         if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut state = slot.state.lock().unwrap();
             if matches!(*state, SlotState::Ready(_)) {
                 *state = SlotState::Evicted;
+            }
+            drop(state);
+            if let (piccolo_graph::Dataset::External { id }, _, _) = key {
+                piccolo_graph::external::release(id);
             }
         }
     }
@@ -528,6 +542,13 @@ fn default_build((dataset, shift, seed): GraphKey) -> Arc<Csr> {
     dataset.build_shared(shift, seed)
 }
 
+/// Stable one-line description of a graph key for `built` journal entries. External
+/// datasets ride on their registry id alone — the plan hash already folds the name and
+/// full content per id, so within one plan the id identifies the graph exactly.
+fn build_spec((dataset, shift, seed): GraphKey) -> String {
+    format!("{} shift={shift} seed={seed}", dataset.short_name())
+}
+
 impl SweepRunner {
     /// Executes `specs` as one campaign: a single global [`run_indexed`] pool over all
     /// graph builds and grid units, building each distinct [`GraphKey`] exactly once
@@ -594,14 +615,30 @@ impl SweepRunner {
         let writer = journal::Writer::append_to(journal_path, plan)?;
         let executed = selected.len();
         let on_done = |gid: usize, result: &UnitResult| writer.record(gid, result);
+        // Journal builds as they happen and remember this invocation's keys, so the
+        // summary below can report how many journaled builds were *skipped* — graphs
+        // whose every unit replayed are never scheduled, hence never rebuilt.
+        let built_now: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let build = |key: GraphKey| {
+            let spec = build_spec(key);
+            writer.record_build(&spec);
+            built_now.lock().unwrap().push(spec);
+            default_build(key)
+        };
         let (slots, stats) = execute_selected(
             self.jobs(),
             specs,
             &unit_index,
             &selected,
-            &default_build,
+            &build,
             Some(&on_done),
         );
+        let built_now = built_now.into_inner().unwrap();
+        let builds_skipped = replay
+            .builds
+            .iter()
+            .filter(|spec| !built_now.contains(spec))
+            .count();
         let unit_results: Vec<UnitResult> = slots
             .into_iter()
             .enumerate()
@@ -618,6 +655,7 @@ impl SweepRunner {
             executed,
             corrupt: replay.corrupt,
             mismatched: replay.mismatched,
+            builds_skipped,
             run: CampaignRun {
                 figures: evaluate_figures(specs, &unit_results),
                 stats,
@@ -643,6 +681,10 @@ pub struct ResumeRun {
     /// Well-formed entries ignored because they belong to a different plan (figure
     /// set, scale, or spec revision) or name an impossible slot.
     pub mismatched: usize,
+    /// Journaled graph builds this invocation did **not** repeat: every unit of those
+    /// graphs replayed, so the graphs were never scheduled — the build-skip that makes
+    /// a fully-replayed resume O(journal), not O(graph).
+    pub builds_skipped: usize,
 }
 
 /// One executed shard: the raw results of its grid slots, tagged with the plan hash
@@ -1054,6 +1096,56 @@ mod tests {
     }
 
     #[test]
+    fn campaign_eviction_returns_lazily_registered_external_memory() {
+        // The out-of-core contract: once the campaign's last unit over a lazily
+        // registered external graph finishes, the graph's memory is actually freed —
+        // the registry holds only a weak handle plus the loader for a future reload.
+        use piccolo_graph::{external, generate};
+        use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+
+        let g = generate::kronecker(10, 4, 29);
+        let loads = Arc::new(AtomicUsize::new(0));
+        let ds = {
+            let g = g.clone();
+            let loads = Arc::clone(&loads);
+            external::register_lazy(
+                "campaign-test-oocore",
+                external::csr_fingerprint(&g),
+                g.num_vertices() as u64,
+                g.num_edges(),
+                move || {
+                    loads.fetch_add(1, AtOrd::SeqCst);
+                    g.clone()
+                },
+            )
+        };
+        let piccolo_graph::Dataset::External { id } = ds else {
+            panic!("register_lazy returns an External dataset");
+        };
+        let specs = vec![experiments::fig12_spec(tiny(), &[ds], &[Algorithm::Bfs])];
+
+        let run = SweepRunner::new(2).run_campaign(&specs);
+        assert_eq!(run.stats.graphs_built, 1);
+        assert_eq!(run.stats.graphs_evicted, 1);
+        assert_eq!(loads.load(AtOrd::SeqCst), 1);
+        assert_eq!(
+            external::is_loaded(id),
+            Some(false),
+            "eviction must drop the registry pin, not hold the CSR until exit"
+        );
+
+        // A later campaign in the same process transparently reloads and produces
+        // identical bytes.
+        let again = SweepRunner::sequential().run_campaign(&specs);
+        assert_eq!(loads.load(AtOrd::SeqCst), 2, "reload on demand");
+        assert_eq!(
+            results_json(tiny(), &again.figures),
+            results_json(tiny(), &run.figures)
+        );
+        assert_eq!(external::is_loaded(id), Some(false));
+    }
+
+    #[test]
     fn shard_parse_accepts_valid_and_rejects_invalid() {
         assert_eq!(Shard::parse("0/3"), Ok(Shard { index: 0, count: 3 }));
         assert_eq!(Shard::parse("2/3"), Ok(Shard { index: 2, count: 3 }));
@@ -1195,16 +1287,19 @@ mod tests {
         assert!(first.executed > 0);
         let doc = results_json(tiny(), &first.run.figures);
 
-        // A second invocation replays everything and executes nothing.
+        // A second invocation replays everything, executes nothing, and skips every
+        // journaled build (the ROADMAP "builds are not journaled" residual, pinned).
         let second = runner
             .run_campaign_resumed(tiny(), &specs, &journal)
             .unwrap();
         assert_eq!(second.executed, 0);
         assert_eq!(second.replayed, first.executed);
         assert_eq!(second.run.stats.graphs_built, 0);
+        assert_eq!(second.builds_skipped, first.run.stats.graphs_built);
         assert_eq!(results_json(tiny(), &second.run.figures), doc);
 
-        // A different plan ignores every entry (mismatched, not replayed).
+        // A different plan ignores every entry — unit and build lines alike
+        // (mismatched, not replayed).
         let other_scale = Scale {
             max_iterations: 1,
             ..tiny()
@@ -1216,10 +1311,74 @@ mod tests {
             .run_campaign_resumed(other_scale, &specs, &other_journal)
             .unwrap();
         assert_eq!(foreign.replayed, 0);
-        assert_eq!(foreign.mismatched, first.executed);
+        assert_eq!(
+            foreign.mismatched,
+            first.executed + first.run.stats.graphs_built
+        );
         assert_eq!(foreign.executed, first.executed);
+        assert_eq!(foreign.builds_skipped, 0);
 
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_file(&other_journal);
+    }
+
+    #[test]
+    fn partial_resume_rebuilds_only_graphs_with_missing_units() {
+        // Kill simulation targeting one graph: drop exactly the journal entries of
+        // units that need graph B. The resumed invocation must rebuild B (its units
+        // re-run) but skip graph A outright — per-graph build skipping, not
+        // all-or-nothing.
+        let dir =
+            std::env::temp_dir().join(format!("piccolo-campaign-partial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("resume-partial.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let a = Dataset::UciUni;
+        let b = Dataset::Sinaweibo;
+        let specs = vec![experiments::fig12_spec(tiny(), &[a, b], &[Algorithm::Bfs])];
+        let runner = SweepRunner::new(2);
+        let first = runner
+            .run_campaign_resumed(tiny(), &specs, &journal)
+            .unwrap();
+        assert_eq!(first.run.stats.graphs_built, 2);
+        let doc = results_json(tiny(), &first.run.figures);
+
+        // Identify graph B's units from the grid and strip their journal lines.
+        let unit_index = flatten_units(&specs);
+        let b_units: Vec<usize> = (0..unit_index.len())
+            .filter(|&gid| {
+                let (figure, u) = unit_index[gid];
+                matches!(&specs[figure].units()[u], Unit::Sim(rc) if rc.dataset == b)
+            })
+            .collect();
+        assert!(!b_units.is_empty());
+        let kept: Vec<String> = std::fs::read_to_string(&journal)
+            .unwrap()
+            .lines()
+            .filter(|line| {
+                !b_units
+                    .iter()
+                    .any(|gid| line.contains(&format!("\"unit\":{gid},")))
+            })
+            .map(str::to_string)
+            .collect();
+        std::fs::write(&journal, kept.join("\n") + "\n").unwrap();
+
+        let resumed = runner
+            .run_campaign_resumed(tiny(), &specs, &journal)
+            .unwrap();
+        assert_eq!(resumed.executed, b_units.len());
+        assert_eq!(
+            resumed.run.stats.graphs_built, 1,
+            "only the graph with missing units is rebuilt"
+        );
+        assert_eq!(
+            resumed.builds_skipped, 1,
+            "the fully-replayed graph's journaled build is skipped"
+        );
+        assert_eq!(results_json(tiny(), &resumed.run.figures), doc);
+
+        let _ = std::fs::remove_file(&journal);
     }
 }

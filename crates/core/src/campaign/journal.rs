@@ -2,10 +2,11 @@
 //! killed or partially-failed campaign resumes in the time of its *missing* units.
 //!
 //! Each line (format: [`piccolo_io::journal`], FNV-checksummed like `.pcsr` sections)
-//! carries a compact JSON payload:
+//! carries a compact JSON payload — a completed unit, or a graph build:
 //!
 //! ```text
 //! {"plan":"<16-hex plan hash>","unit":<global unit index>,"result":{...}}
+//! {"plan":"<16-hex plan hash>","built":"<graph key spec>"}
 //! ```
 //!
 //! `plan` is [`super::plan_hash`] over the campaign's scale and spec list — an entry
@@ -16,8 +17,15 @@
 //! an uninterrupted run. Corrupt lines (torn tail from a kill, flipped bytes) fail
 //! their checksum and simply cost a re-run of that unit.
 //!
-//! Appends happen from worker threads behind a mutex, one line per completed unit, in
-//! completion order — ordering never matters because every entry names its slot.
+//! `built` entries record which graphs an invocation materialized. Replayed units
+//! never schedule a build (builds are keyed off the units actually executed), so these
+//! entries carry no replay obligation — they exist so a resumed invocation can report
+//! how many journaled builds it *skipped* (graphs whose every unit replayed), making
+//! the out-of-core win visible in the resume summary.
+//!
+//! Appends happen from worker threads behind a mutex, one line per completed unit or
+//! build, in completion order — ordering never matters because every unit entry names
+//! its slot.
 
 use super::codec::{kind_matches, unit_result_from_json, unit_result_to_json};
 use super::plan_hex;
@@ -40,6 +48,9 @@ pub(crate) struct Replay {
     /// Well-formed entries for a *different* plan hash, an out-of-range slot, or a
     /// kind-mismatched slot — ignored, never replayed.
     pub mismatched: usize,
+    /// Graph-key specs of `built` entries that verified against this plan, deduplicated
+    /// (a graph rebuilt by a partially-resumed invocation is journaled again).
+    pub builds: Vec<String>,
 }
 
 /// Scans `path` and returns every entry that verifies against `plan` and the spec
@@ -66,6 +77,14 @@ pub(crate) fn read_replay(
             continue;
         };
         let plan_ok = doc.get("plan").and_then(Json::as_str) == Some(expected_plan.as_str());
+        if let Some(spec) = doc.get("built").and_then(Json::as_str) {
+            if !plan_ok {
+                replay.mismatched += 1;
+            } else if !replay.builds.iter().any(|b| b == spec) {
+                replay.builds.push(spec.to_string());
+            }
+            continue;
+        }
         let unit = doc
             .get("unit")
             .and_then(Json::as_f64)
@@ -125,6 +144,16 @@ impl Writer {
             ("result", unit_result_to_json(result)),
         ])
         .to_string();
+        let mut file = self.file.lock().unwrap();
+        lines::append_line(&mut *file, &payload)
+            .unwrap_or_else(|e| panic!("cannot append to run journal: {e}"));
+    }
+
+    /// Records one completed graph build (its [`super::build_spec`] string). Same
+    /// failure policy as [`Writer::record`].
+    pub fn record_build(&self, spec: &str) {
+        let payload =
+            Json::obj([("plan", Json::str(&self.plan)), ("built", Json::str(spec))]).to_string();
         let mut file = self.file.lock().unwrap();
         lines::append_line(&mut *file, &payload)
             .unwrap_or_else(|e| panic!("cannot append to run journal: {e}"));

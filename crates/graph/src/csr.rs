@@ -6,6 +6,7 @@
 //! transpose for pull-style traversal, and per-tile CSR slicing used by the tiling
 //! accelerators.
 
+use crate::storage::SharedSlice;
 use crate::{Edge, EdgeList, GraphError, VertexId, Weight};
 
 /// A directed graph in compressed sparse row form, ordered by source vertex.
@@ -26,11 +27,11 @@ use crate::{Edge, EdgeList, GraphError, VertexId, Weight};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// `row_offsets[v]..row_offsets[v + 1]` indexes the out-edges of `v`.
-    row_offsets: Vec<u64>,
+    row_offsets: SharedSlice<u64>,
     /// Destination vertex per edge.
-    col_indices: Vec<VertexId>,
+    col_indices: SharedSlice<VertexId>,
     /// Weight per edge, parallel to `col_indices`.
-    weights: Vec<Weight>,
+    weights: SharedSlice<Weight>,
 }
 
 impl Csr {
@@ -47,12 +48,12 @@ impl Csr {
         for i in 0..n {
             row_offsets[i + 1] += row_offsets[i];
         }
-        let col_indices = sorted.iter().map(|e| e.dst).collect();
-        let weights = sorted.iter().map(|e| e.weight).collect();
+        let col_indices: Vec<VertexId> = sorted.iter().map(|e| e.dst).collect();
+        let weights: Vec<Weight> = sorted.iter().map(|e| e.weight).collect();
         Self {
-            row_offsets,
-            col_indices,
-            weights,
+            row_offsets: row_offsets.into(),
+            col_indices: col_indices.into(),
+            weights: weights.into(),
         }
     }
 
@@ -83,6 +84,17 @@ impl Csr {
         row_offsets: Vec<u64>,
         col_indices: Vec<VertexId>,
         weights: Vec<Weight>,
+    ) -> Result<Self, GraphError> {
+        Self::try_from_shared(row_offsets.into(), col_indices.into(), weights.into())
+    }
+
+    /// Like [`Csr::try_from_raw`], but over [`SharedSlice`] sections, so storage that is
+    /// already shared — notably sections of a memory-mapped snapshot — becomes a graph
+    /// without copying. Runs the exact same validation as `try_from_raw`.
+    pub fn try_from_shared(
+        row_offsets: SharedSlice<u64>,
+        col_indices: SharedSlice<VertexId>,
+        weights: SharedSlice<Weight>,
     ) -> Result<Self, GraphError> {
         if row_offsets.is_empty() {
             return Err(GraphError::EmptyOffsets);
@@ -214,7 +226,7 @@ impl Csr {
         assert!(tile_width > 0, "tile width must be positive");
         let tiles = (self.num_vertices() as u64).div_ceil(tile_width as u64) as usize;
         let mut counts = vec![0u64; tiles.max(1)];
-        for &dst in &self.col_indices {
+        for &dst in self.col_indices.iter() {
             counts[(dst / tile_width) as usize] += 1;
         }
         counts

@@ -336,7 +336,7 @@ mod tests {
             let loaded = Arc::clone(&loaded);
             move || {
                 loaded.store(true, Ordering::SeqCst);
-                g
+                g.clone()
             }
         };
         let ds = external::register_lazy(

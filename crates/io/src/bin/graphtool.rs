@@ -1,25 +1,37 @@
-//! Convert, inspect and validate graph files.
+//! Generate, convert, inspect and validate graph files.
 //!
 //! ```text
-//! graphtool convert <in> <out.pcsr> [--format edgelist|snap|mtx]
+//! graphtool gen     <out> --vertices N --edges M [--seed S]
+//! graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]
 //! graphtool info    <file>          [--format edgelist|snap|mtx]
-//! graphtool verify  <file.pcsr>
+//! graphtool verify  <file.pcsr|dir.pcsr.d>
 //! ```
 //!
-//! `convert` parses a text graph (or re-validates an existing snapshot) and writes a
-//! `.pcsr` snapshot; `info` prints vertex/edge counts and degree statistics for any
-//! supported file; `verify` fully checks a snapshot's magic, version, checksums and
-//! structural invariants. Exit codes: 0 success, 1 bad input file, 2 usage error.
+//! `gen` writes a deterministic uniform-random graph — a weighted TSV edge list, or a
+//! `.pcsr` snapshot if the output ends in `.pcsr` — for CI jobs that need a graph of a
+//! known size without shipping one. `convert` parses a text graph (plain, `.gz` or
+//! `.zst` — sniffed by magic bytes) or re-validates an existing snapshot, then writes
+//! a single-file `.pcsr` snapshot or, with `--partition N` or a `.pcsr.d` output path,
+//! a partitioned `.pcsr.d/` directory. `info` prints vertex/edge counts and degree
+//! statistics for any supported input, plus the tile table for `.pcsr.d/`
+//! directories. `verify` fully checks a snapshot's (or every tile's and the
+//! manifest's) magic, version, checksums and structural invariants. Exit codes: 0
+//! success, 1 bad input file, 2 usage error.
 
 use piccolo_graph::Csr;
-use piccolo_io::{load_pcsr, load_text, save_pcsr, IoError, TextFormat};
+use piccolo_io::{
+    is_pcsr_dir, load_pcsr, load_pcsr_dir, load_text, pcsr_dir_info, save_pcsr, save_pcsr_dir,
+    verify_pcsr_dir, IoError, TextFormat,
+};
+use std::io::Write;
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graphtool convert <in> <out.pcsr> [--format edgelist|snap|mtx]\n       \
+        "usage: graphtool gen <out> --vertices N --edges M [--seed S]\n       \
+         graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]\n       \
          graphtool info <file> [--format edgelist|snap|mtx]\n       \
-         graphtool verify <file.pcsr>"
+         graphtool verify <file.pcsr|dir.pcsr.d>"
     );
     std::process::exit(2);
 }
@@ -33,10 +45,22 @@ fn is_pcsr(path: &Path) -> bool {
     path.extension().and_then(|e| e.to_str()) == Some("pcsr")
 }
 
-/// Loads any supported file: `.pcsr` directly, everything else through the text
-/// parsers (no snapshot cache — the tool always reads what it is pointed at).
+/// Whether `path` names a partitioned snapshot: an existing `.pcsr.d/` directory, or
+/// (for outputs that do not exist yet) a `.pcsr.d` suffix.
+fn names_pcsr_dir(path: &Path) -> bool {
+    is_pcsr_dir(path)
+        || path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".pcsr.d"))
+}
+
+/// Loads any supported file: `.pcsr` / `.pcsr.d` directly, everything else through
+/// the text parsers (no snapshot cache — the tool always reads what it is pointed at).
 fn load_any(path: &Path, format: Option<TextFormat>) -> Result<Csr, IoError> {
-    if is_pcsr(path) {
+    if names_pcsr_dir(path) {
+        load_pcsr_dir(path)
+    } else if is_pcsr(path) {
         load_pcsr(path)
     } else {
         let format = format.unwrap_or_else(|| TextFormat::from_path(path));
@@ -52,10 +76,39 @@ fn print_info(path: &Path, g: &Csr) {
     println!("max degree:  {}", g.max_degree());
 }
 
+/// Writes `g` as a weighted TSV edge list (`src\tdst\tweight`), the round-trippable
+/// text form of the graph: re-ingesting it through any text path reproduces the exact
+/// CSR, so CI can compare compressed / converted / partitioned pipelines byte-for-byte.
+fn write_tsv(path: &Path, g: &Csr) -> Result<(), IoError> {
+    let wrap = |e: std::io::Error| IoError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    };
+    let file = std::fs::File::create(path).map_err(wrap)?;
+    let mut out = std::io::BufWriter::new(file);
+    for e in g.iter_edges() {
+        writeln!(out, "{}\t{}\t{}", e.src, e.dst, e.weight).map_err(wrap)?;
+    }
+    out.flush().map_err(wrap)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut format: Option<TextFormat> = None;
+    let mut partition: Option<usize> = None;
+    let mut vertices: Option<u32> = None;
+    let mut edges: Option<u64> = None;
+    let mut seed: u64 = 1;
+    fn num_flag(it: &mut std::slice::Iter<'_, String>, name: &str) -> u64 {
+        match it.next().and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("graphtool: {name} needs a positive integer");
+                usage()
+            }
+        }
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -63,33 +116,94 @@ fn main() {
                 Some(Some(f)) => format = Some(f),
                 _ => usage(),
             },
+            "--partition" => partition = Some(num_flag(&mut it, "--partition") as usize),
+            "--vertices" => match u32::try_from(num_flag(&mut it, "--vertices")) {
+                Ok(v) => vertices = Some(v),
+                Err(_) => usage(),
+            },
+            "--edges" => edges = Some(num_flag(&mut it, "--edges")),
+            "--seed" => seed = num_flag(&mut it, "--seed"),
             other if other.starts_with("--") => usage(),
             other => positional.push(other),
         }
     }
 
     match positional.as_slice() {
-        ["convert", input, output] => {
-            let input = Path::new(input);
+        ["gen", output] => {
             let output = Path::new(output);
-            let g = load_any(input, format).unwrap_or_else(|e| fail(&e));
-            save_pcsr(output, &g).unwrap_or_else(|e| fail(&e));
+            let (Some(vertices), Some(edges)) = (vertices, edges) else {
+                eprintln!("graphtool: gen needs --vertices and --edges");
+                usage()
+            };
+            let g = piccolo_graph::generate::uniform(vertices, edges, seed);
+            if is_pcsr(output) {
+                save_pcsr(output, &g).unwrap_or_else(|e| fail(&e));
+            } else {
+                write_tsv(output, &g).unwrap_or_else(|e| fail(&e));
+            }
             println!(
-                "wrote {} ({} vertices, {} edges)",
+                "wrote {} ({} vertices, {} edges, seed {seed})",
                 output.display(),
                 g.num_vertices(),
                 g.num_edges()
             );
         }
+        ["convert", input, output] => {
+            let input = Path::new(input);
+            let output = Path::new(output);
+            let g = load_any(input, format).unwrap_or_else(|e| fail(&e));
+            if partition.is_some() || names_pcsr_dir(output) {
+                let parts = partition.unwrap_or(4);
+                save_pcsr_dir(output, &g, parts).unwrap_or_else(|e| fail(&e));
+                println!(
+                    "wrote {} ({} vertices, {} edges, {} partition(s))",
+                    output.display(),
+                    g.num_vertices(),
+                    g.num_edges(),
+                    parts.min(g.num_vertices().max(1) as usize)
+                );
+            } else {
+                save_pcsr(output, &g).unwrap_or_else(|e| fail(&e));
+                println!(
+                    "wrote {} ({} vertices, {} edges)",
+                    output.display(),
+                    g.num_vertices(),
+                    g.num_edges()
+                );
+            }
+        }
         ["info", file] => {
             let file = Path::new(file);
             let g = load_any(file, format).unwrap_or_else(|e| fail(&e));
             print_info(file, &g);
+            if is_pcsr_dir(file) {
+                let info = pcsr_dir_info(file).unwrap_or_else(|e| fail(&e));
+                println!("partitions:  {}", info.parts.len());
+                for p in &info.parts {
+                    println!(
+                        "  part {:>3}: vertices [{}, {}), {} edges, {} bytes ({})",
+                        p.index, p.start, p.end, p.edges, p.bytes, p.file
+                    );
+                }
+            }
         }
         ["verify", file] => {
             let file = Path::new(file);
+            if is_pcsr_dir(file) {
+                // Per-tile file hashes against the manifest, then a full assembling
+                // load (per-section checksums + whole-graph structural invariants).
+                let info = verify_pcsr_dir(file).unwrap_or_else(|e| fail(&e));
+                println!(
+                    "OK: {} ({} vertices, {} edges, {} partition(s), checksums valid)",
+                    file.display(),
+                    info.num_vertices,
+                    info.num_edges,
+                    info.parts.len()
+                );
+                return;
+            }
             if !is_pcsr(file) {
-                eprintln!("graphtool: verify expects a .pcsr file");
+                eprintln!("graphtool: verify expects a .pcsr file or a .pcsr.d directory");
                 std::process::exit(2);
             }
             // load_pcsr checks magic, version, every section checksum, and the CSR

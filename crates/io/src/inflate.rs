@@ -1,0 +1,572 @@
+//! Hand-rolled DEFLATE (RFC 1951) and gzip (RFC 1952) decompression.
+//!
+//! Compressed text ingestion ([`crate::compress`]) needs gzip without adding a
+//! dependency, so this module implements the decoder directly: a bit-level reader,
+//! canonical Huffman decoding in the style of the reference `puff` decoder (counts +
+//! symbol table per code length), all three block types (stored, fixed, dynamic), the
+//! 32 KiB LZ77 back-reference window, and the gzip member framing with CRC32 and
+//! ISIZE verification. A minimal *compressor* ([`gzip_compress`], stored blocks only)
+//! exists so tests and CI can produce valid `.gz` inputs offline; it is not meant to
+//! shrink anything.
+
+use std::fmt;
+
+/// Maximum bits in any DEFLATE Huffman code.
+const MAX_BITS: usize = 15;
+/// Number of length codes (257..=285 map through these tables).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which code-length-code lengths are stored in a dynamic block header.
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Decompression failure: malformed stream, bad checksum, or truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InflateError(pub String);
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inflate: {}", self.0)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, InflateError> {
+    Err(InflateError(msg.into()))
+}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        while self.bit_count < n {
+            let Some(&b) = self.data.get(self.pos) else {
+                return err("unexpected end of stream");
+            };
+            self.pos += 1;
+            self.bit_buf |= (b as u32) << self.bit_count;
+            self.bit_count += 8;
+        }
+        // `n` is at most 7 here (the widest extra-bits field), so the shift is safe.
+        let out = if n == 0 {
+            0
+        } else {
+            self.bit_buf & ((1u32 << n) - 1)
+        };
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(out)
+    }
+
+    /// Discards bits up to the next byte boundary.
+    fn align(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Reads `n` whole bytes (must be byte-aligned via [`BitReader::align`] first,
+    /// or have whole buffered bytes).
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, InflateError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if self.bit_count >= 8 {
+                out.push((self.bit_buf & 0xff) as u8);
+                self.bit_buf >>= 8;
+                self.bit_count -= 8;
+            } else {
+                let Some(&b) = self.data.get(self.pos) else {
+                    return err("unexpected end of stored block");
+                };
+                self.pos += 1;
+                out.push(b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Byte offset of the next unread input byte (buffered bits count as unread).
+    fn byte_pos(&self) -> usize {
+        self.pos - (self.bit_count as usize / 8)
+    }
+}
+
+/// Canonical Huffman table: symbol counts per code length plus symbols in canonical
+/// order — the `puff` decoding structure.
+struct Huffman {
+    count: [u16; MAX_BITS + 1],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Self, InflateError> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            if len as usize > MAX_BITS {
+                return err("code length exceeds 15 bits");
+            }
+            count[len as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            // No codes at all: legal for the distance table of a literal-only block.
+            return Ok(Self {
+                count,
+                symbols: Vec::new(),
+            });
+        }
+        // Over-subscription check (incomplete codes are tolerated, as in puff).
+        let mut left = 1i32;
+        for &n in &count[1..=MAX_BITS] {
+            left <<= 1;
+            left -= n as i32;
+            if left < 0 {
+                return err("over-subscribed Huffman code");
+            }
+        }
+        let mut offsets = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + count[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        symbols.truncate(lengths.iter().filter(|&&l| l != 0).count());
+        Ok(Self { count, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0usize;
+        let mut first = 0usize;
+        let mut index = 0usize;
+        for len in 1..=MAX_BITS {
+            code |= r.bits(1)? as usize;
+            let count = self.count[len] as usize;
+            if code < first + count {
+                return Ok(self.symbols[index + (code - first)]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        err("invalid Huffman code")
+    }
+}
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lit = [0u8; 288];
+    lit[0..144].fill(8);
+    lit[144..256].fill(9);
+    lit[256..280].fill(7);
+    lit[280..288].fill(8);
+    let dist = [5u8; 30];
+    (Huffman::new(&lit).unwrap(), Huffman::new(&dist).unwrap())
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = sym as usize - 257;
+                let len = LENGTH_BASE[idx] as usize + r.bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return err("invalid distance symbol");
+                }
+                let d = DIST_BASE[dsym] as usize + r.bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if d > out.len() {
+                    return err("distance reaches before start of output");
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return err("invalid literal/length symbol"),
+        }
+    }
+}
+
+/// Decompresses a raw DEFLATE stream (RFC 1951). Returns the output bytes and the
+/// number of *input* bytes consumed (the stream self-terminates at the final block).
+pub fn inflate(data: &[u8]) -> Result<(Vec<u8>, usize), InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.bits(1)?;
+        let btype = r.bits(2)?;
+        match btype {
+            0 => {
+                r.align();
+                let head = r.bytes(4)?;
+                let len = u16::from_le_bytes([head[0], head[1]]) as usize;
+                let nlen = u16::from_le_bytes([head[2], head[3]]);
+                if nlen != !(len as u16) {
+                    return err("stored block LEN/NLEN mismatch");
+                }
+                let chunk = r.bytes(len)?;
+                out.extend_from_slice(&chunk);
+            }
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            2 => {
+                let hlit = r.bits(5)? as usize + 257;
+                let hdist = r.bits(5)? as usize + 1;
+                let hclen = r.bits(4)? as usize + 4;
+                if hlit > 286 || hdist > 30 {
+                    return err("dynamic block declares too many codes");
+                }
+                let mut clc_lens = [0u8; 19];
+                for &pos in CLC_ORDER.iter().take(hclen) {
+                    clc_lens[pos] = r.bits(3)? as u8;
+                }
+                let clc = Huffman::new(&clc_lens)?;
+                let mut lens = Vec::with_capacity(hlit + hdist);
+                while lens.len() < hlit + hdist {
+                    let sym = clc.decode(&mut r)?;
+                    match sym {
+                        0..=15 => lens.push(sym as u8),
+                        16 => {
+                            let &prev = lens.last().ok_or_else(|| {
+                                InflateError("repeat with no previous length".into())
+                            })?;
+                            let n = 3 + r.bits(2)?;
+                            for _ in 0..n {
+                                lens.push(prev);
+                            }
+                        }
+                        17 => {
+                            let n = 3 + r.bits(3)?;
+                            lens.resize(lens.len() + n as usize, 0);
+                        }
+                        18 => {
+                            let n = 11 + r.bits(7)?;
+                            lens.resize(lens.len() + n as usize, 0);
+                        }
+                        _ => return err("invalid code-length symbol"),
+                    }
+                }
+                if lens.len() != hlit + hdist {
+                    return err("code lengths overflow their table");
+                }
+                if lens[256] == 0 {
+                    return err("dynamic block has no end-of-block code");
+                }
+                let lit = Huffman::new(&lens[..hlit])?;
+                let dist = Huffman::new(&lens[hlit..])?;
+                inflate_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return err("reserved block type"),
+        }
+        if bfinal == 1 {
+            r.align();
+            return Ok((out, r.byte_pos()));
+        }
+    }
+}
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (n, slot) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    table
+}
+
+/// CRC-32 (IEEE, reflected) as used by gzip.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// gzip file magic.
+pub const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// Decompresses a complete gzip file (one or more members, per RFC 1952), verifying
+/// each member's CRC32 and ISIZE.
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut out = Vec::new();
+    let mut rest = data;
+    if rest.is_empty() {
+        return err("empty gzip input");
+    }
+    while !rest.is_empty() {
+        rest = gunzip_member(rest, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn gunzip_member<'a>(data: &'a [u8], out: &mut Vec<u8>) -> Result<&'a [u8], InflateError> {
+    if data.len() < 10 {
+        return err("truncated gzip header");
+    }
+    if data[0..2] != GZIP_MAGIC {
+        return err("bad gzip magic");
+    }
+    if data[2] != 8 {
+        return err("unsupported gzip compression method");
+    }
+    let flg = data[3];
+    if flg & 0xe0 != 0 {
+        return err("reserved gzip flag bits set");
+    }
+    let mut pos = 10usize;
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        if data.len() < pos + 2 {
+            return err("truncated FEXTRA");
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings
+        if flg & flag != 0 {
+            let end = data[pos.min(data.len())..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| InflateError("unterminated gzip header string".into()))?;
+            pos += end + 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        // FHCRC
+        pos += 2;
+    }
+    if pos > data.len() {
+        return err("truncated gzip header fields");
+    }
+
+    let before = out.len();
+    let (chunk, consumed) = inflate(&data[pos..])?;
+    out.extend_from_slice(&chunk);
+    let trailer_at = pos + consumed;
+    if data.len() < trailer_at + 8 {
+        return err("truncated gzip trailer");
+    }
+    let stored_crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
+    let stored_isize = u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().unwrap());
+    let member = &out[before..];
+    if crc32(member) != stored_crc {
+        return err("gzip CRC32 mismatch");
+    }
+    if member.len() as u32 != stored_isize {
+        return err("gzip ISIZE mismatch");
+    }
+    Ok(&data[trailer_at + 8..])
+}
+
+/// Produces a valid gzip file from `data` using stored (uncompressed) DEFLATE blocks.
+/// Exists so tests and CI can generate `.gz` inputs without a system `gzip`; the
+/// output is larger than the input by the framing overhead.
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 32);
+    out.extend_from_slice(&GZIP_MAGIC);
+    out.push(8); // CM = deflate
+    out.push(0); // FLG
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
+    out.push(0); // XFL
+    out.push(255); // OS = unknown
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]); // final empty stored block
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1u8 } else { 0 };
+        out.push(bfinal); // BTYPE=00 in bits 1-2; byte-aligned since stored blocks realign
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip_including_empty_and_multi_block() {
+        for data in [
+            b"".to_vec(),
+            b"hello gzip".to_vec(),
+            vec![0xabu8; 200_000], // spans multiple stored blocks
+        ] {
+            let gz = gzip_compress(&data);
+            assert_eq!(gz[0..2], GZIP_MAGIC);
+            assert_eq!(gunzip(&gz).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_stream_decodes() {
+        // "abc" compressed with fixed Huffman codes (literals 'a','b','c' are 8-bit
+        // codes 0x91,0x92,0x93; end-of-block is 7-bit 0000000), assembled by hand.
+        // BFINAL=1 BTYPE=01, then LSB-first packing.
+        let mut bits: Vec<bool> = Vec::new();
+        let push = |val: u32, n: u32, rev: bool, bits: &mut Vec<bool>| {
+            for i in 0..n {
+                let bit = if rev {
+                    (val >> (n - 1 - i)) & 1 // Huffman codes pack MSB-first
+                } else {
+                    (val >> i) & 1
+                };
+                bits.push(bit == 1);
+            }
+        };
+        push(1, 1, false, &mut bits); // BFINAL
+        push(1, 2, false, &mut bits); // BTYPE = 01
+        for ch in [b'a', b'b', b'c'] {
+            push(0x30 + ch as u32, 8, true, &mut bits); // 0..143 => code 0x30+sym, 8 bits
+        }
+        push(0, 7, true, &mut bits); // end of block
+        let mut packed = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        let (out, _) = inflate(&packed).unwrap();
+        assert_eq!(out, b"abc");
+    }
+
+    #[test]
+    fn backreference_run_decodes() {
+        // The LZ77 match machinery must reject a distance reaching before the start
+        // of the output. BFINAL=1, BTYPE=01 (fixed), then a length/distance pair with
+        // no prior output: length code 257 (7-bit 0000001), distance code 0 (5 bits).
+        let mut bits: Vec<bool> = Vec::new();
+        let push = |val: u32, n: u32, rev: bool, bits: &mut Vec<bool>| {
+            for i in 0..n {
+                let bit = if rev {
+                    (val >> (n - 1 - i)) & 1
+                } else {
+                    (val >> i) & 1
+                };
+                bits.push(bit == 1);
+            }
+        };
+        push(1, 1, false, &mut bits);
+        push(1, 2, false, &mut bits);
+        push(1, 7, true, &mut bits); // symbol 257: 7-bit code 0000001
+        push(0, 5, true, &mut bits); // distance symbol 0
+        let mut packed = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        let e = inflate(&packed).unwrap_err();
+        assert!(format!("{e}").contains("before start"), "{e}");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data: Vec<u8> = (0..5000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let good = gzip_compress(&data);
+        // CRC flip
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 6] ^= 0xff;
+        assert!(gunzip(&bad).is_err());
+        // ISIZE flip
+        let mut bad = good.clone();
+        bad[n - 1] ^= 0xff;
+        assert!(gunzip(&bad).is_err());
+        // payload flip (stored bytes are CRC-checked)
+        let mut bad = good.clone();
+        bad[40] ^= 0x01;
+        assert!(gunzip(&bad).is_err());
+        // magic
+        let mut bad = good.clone();
+        bad[0] = 0;
+        assert!(gunzip(&bad).is_err());
+        // truncation at several points
+        for cut in [1, 5, 12, good.len() - 3] {
+            assert!(gunzip(&good[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn multi_member_files_concatenate() {
+        let mut gz = gzip_compress(b"first ");
+        gz.extend_from_slice(&gzip_compress(b"second"));
+        assert_eq!(gunzip(&gz).unwrap(), b"first second");
+    }
+
+    #[test]
+    fn header_optional_fields_are_skipped() {
+        let mut gz = gzip_compress(b"payload");
+        // Rewrite the header with FNAME + FCOMMENT set.
+        let mut with_name = vec![0x1f, 0x8b, 8, 0x08 | 0x10, 0, 0, 0, 0, 0, 255];
+        with_name.extend_from_slice(b"file.tsv\0");
+        with_name.extend_from_slice(b"a comment\0");
+        with_name.extend_from_slice(&gz.split_off(10));
+        assert_eq!(gunzip(&with_name).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xcbf43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+}

@@ -47,6 +47,14 @@ pub fn decode_line(line: &str) -> Option<&str> {
     }
     let (hex, rest) = line.split_at(CHECKSUM_HEX);
     let payload = &rest[1..];
+    // The encoder emits lowercase hex only; reject uppercase so a case-flipped
+    // checksum byte (a single-bit flip on an ASCII letter) cannot still verify.
+    if !hex
+        .bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
     let stored = u64::from_str_radix(hex, 16).ok()?;
     (stored == fnv64(payload.as_bytes())).then_some(payload)
 }

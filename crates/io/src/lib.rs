@@ -10,17 +10,29 @@
 //!   carrying line/field context instead of panics.
 //! * **Binary snapshots** ([`pcsr`]) — the `.pcsr` format: magic + version + counts +
 //!   checksummed `row_offsets` / `col_indices` / `weights` sections in a deterministic
-//!   little-endian layout (full spec in `docs/pcsr-format.md`).
+//!   little-endian layout (full spec in `docs/pcsr-format.md`). Snapshots load
+//!   zero-copy by default through a hand-rolled `mmap(2)` ([`mmap`], [`MappedPcsr`]),
+//!   with sections checksum-verified lazily on first touch; `PICCOLO_NO_MMAP=1`
+//!   forces the owned read path with byte-identical results.
+//! * **Partitioned snapshots** ([`partition`]) — the `.pcsr.d/` directory format: one
+//!   `.pcsr` tile per contiguous vertex range plus a line-checksummed manifest with
+//!   per-partition counts and fingerprints, so out-of-core runs map one tile at a
+//!   time instead of the whole graph.
+//! * **Compressed ingestion** ([`compress`], [`inflate`]) — gzip (hand-rolled
+//!   DEFLATE) and zstd (system binary) text inputs, sniffed by magic bytes and
+//!   decompressed into the same line-buffered parsers.
 //! * **The snapshot cache** ([`snapshot`]) — a content-hash-keyed directory of
 //!   snapshots, so the second load of any external graph skips parsing entirely and
-//!   editing a source file invalidates its snapshot automatically.
+//!   editing a source file invalidates its snapshot automatically. The key hashes
+//!   *decompressed* content, so `graph.tsv`, `graph.tsv.gz` and `graph.tsv.zst`
+//!   share one cache entry.
 //! * **Checksummed journal lines** ([`journal`]) — the append-only line format behind
 //!   the campaign run journal (`repro --resume`): each line carries an FNV-1a-64
 //!   checksum, so torn or corrupted entries are skipped instead of poisoning a resume.
 //!
-//! The `graphtool` binary (`convert` / `info` / `verify`) exposes the same machinery
-//! on the command line, and `repro --external NAME=PATH` runs loaded graphs through
-//! the whole campaign pipeline via [`piccolo_graph::external`].
+//! The `graphtool` binary (`gen` / `convert` / `info` / `verify`) exposes the same
+//! machinery on the command line, and `repro --external NAME=PATH` runs loaded graphs
+//! through the whole campaign pipeline via [`piccolo_graph::external`].
 //!
 //! # Example
 //!
@@ -35,15 +47,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compress;
 pub mod error;
 pub mod hash;
+pub mod inflate;
 pub mod journal;
+pub mod mmap;
+pub mod partition;
 pub mod pcsr;
 pub mod snapshot;
 pub mod text;
 
+pub use compress::{sniff_file, strip_extension, Compression};
 pub use error::IoError;
-pub use pcsr::{load_pcsr, read_pcsr, save_pcsr, write_pcsr};
+pub use mmap::{mmap_enabled, Mapping, NO_MMAP_ENV};
+pub use partition::{
+    is_pcsr_dir, load_pcsr_dir, pcsr_dir_info, pcsr_dir_path, save_pcsr_dir, verify_pcsr_dir,
+    PcsrDirInfo,
+};
+pub use pcsr::{load_pcsr, load_pcsr_owned, read_pcsr, save_pcsr, write_pcsr, MappedPcsr};
 pub use snapshot::{
     default_snapshot_dir, load_graph, load_graph_with, snapshot_path, LoadedGraph, SnapshotStatus,
 };

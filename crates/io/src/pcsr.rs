@@ -27,9 +27,11 @@
 
 use crate::error::IoError;
 use crate::hash::Fnv64;
-use piccolo_graph::Csr;
+use crate::mmap::{mmap_enabled, Mapping};
+use piccolo_graph::{Csr, SharedSlice};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// File magic, the first four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"PCSR";
@@ -44,19 +46,40 @@ const MAX_COUNT: u64 = 1 << 40;
 /// Serializes `graph` into `w` in the layout above. The output is deterministic:
 /// identical graphs produce identical bytes.
 pub fn write_pcsr<W: Write>(mut w: W, graph: &Csr) -> std::io::Result<()> {
+    write_pcsr_raw(
+        &mut w,
+        graph.num_vertices() as u64,
+        graph.num_edges(),
+        graph.row_offsets().iter().copied(),
+        graph.col_indices(),
+        graph.weights(),
+    )
+}
+
+/// Writes the `.pcsr` framing around raw sections. Used by [`write_pcsr`] and by the
+/// partitioned format ([`crate::partition`]), whose tiles carry *global* column ids
+/// that would not pass a standalone [`Csr`] validation.
+pub(crate) fn write_pcsr_raw<W: Write>(
+    w: &mut W,
+    num_vertices: u64,
+    num_edges: u64,
+    row_offsets: impl Iterator<Item = u64>,
+    col_indices: &[u32],
+    weights: &[u32],
+) -> std::io::Result<()> {
     let mut header = Vec::with_capacity(24);
     header.extend_from_slice(&MAGIC);
     header.extend_from_slice(&VERSION.to_le_bytes());
-    header.extend_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
-    header.extend_from_slice(&graph.num_edges().to_le_bytes());
+    header.extend_from_slice(&num_vertices.to_le_bytes());
+    header.extend_from_slice(&num_edges.to_le_bytes());
     let mut hasher = Fnv64::new();
     hasher.update(&header);
     header.extend_from_slice(&hasher.finish().to_le_bytes());
     w.write_all(&header)?;
 
-    write_section(&mut w, graph.row_offsets().iter().map(|v| v.to_le_bytes()))?;
-    write_section(&mut w, graph.col_indices().iter().map(|v| v.to_le_bytes()))?;
-    write_section(&mut w, graph.weights().iter().map(|v| v.to_le_bytes()))?;
+    write_section(w, row_offsets.map(|v| v.to_le_bytes()))?;
+    write_section(w, col_indices.iter().map(|v| v.to_le_bytes()))?;
+    write_section(w, weights.iter().map(|v| v.to_le_bytes()))?;
     Ok(())
 }
 
@@ -90,11 +113,24 @@ pub fn save_pcsr(path: &Path, graph: &Csr) -> Result<(), IoError> {
     w.flush().map_err(|e| IoError::io(path, e))
 }
 
-/// Reads and fully validates a snapshot from `r`; `origin` labels error messages.
-pub fn read_pcsr<R: Read>(mut r: R, origin: &Path) -> Result<Csr, IoError> {
-    let mut header = [0u8; 32];
-    r.read_exact(&mut header)
-        .map_err(|_| IoError::format(origin, "truncated header (need 32 bytes)"))?;
+/// The validated counts from a `.pcsr` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcsrHeader {
+    /// Declared vertex count (fits the `u32` id space).
+    pub num_vertices: u64,
+    /// Declared edge count.
+    pub num_edges: u64,
+}
+
+impl PcsrHeader {
+    /// Exact file size a snapshot with these counts must have.
+    pub fn expected_len(&self) -> u64 {
+        32 + (self.num_vertices + 1) * 8 + 8 + self.num_edges * 4 + 8 + self.num_edges * 4 + 8
+    }
+}
+
+/// Parses and validates the 32-byte header: magic, version, checksum, count bounds.
+pub fn parse_header(header: &[u8; 32], origin: &Path) -> Result<PcsrHeader, IoError> {
     if header[0..4] != MAGIC {
         return Err(IoError::format(origin, "bad magic (not a .pcsr file)"));
     }
@@ -122,6 +158,21 @@ pub fn read_pcsr<R: Read>(mut r: R, origin: &Path) -> Result<Csr, IoError> {
     if num_vertices >= MAX_COUNT || num_edges >= MAX_COUNT {
         return Err(IoError::format(origin, "implausible header counts"));
     }
+    Ok(PcsrHeader {
+        num_vertices,
+        num_edges,
+    })
+}
+
+/// Reads and fully validates a snapshot from `r`; `origin` labels error messages.
+pub fn read_pcsr<R: Read>(mut r: R, origin: &Path) -> Result<Csr, IoError> {
+    let mut header = [0u8; 32];
+    r.read_exact(&mut header)
+        .map_err(|_| IoError::format(origin, "truncated header (need 32 bytes)"))?;
+    let PcsrHeader {
+        num_vertices,
+        num_edges,
+    } = parse_header(&header, origin)?;
 
     let row_offsets: Vec<u64> = read_section(
         &mut r,
@@ -194,10 +245,219 @@ fn read_section<R: Read, T, const N: usize>(
     Ok(out)
 }
 
-/// Opens and reads a snapshot file.
-pub fn load_pcsr(path: &Path) -> Result<Csr, IoError> {
+/// Opens and reads a snapshot file into owned memory (never maps).
+pub fn load_pcsr_owned(path: &Path) -> Result<Csr, IoError> {
     let file = std::fs::File::open(path).map_err(|e| IoError::io(path, e))?;
     read_pcsr(std::io::BufReader::new(file), path)
+}
+
+/// Opens and reads a snapshot file.
+///
+/// When memory mapping is enabled (see [`crate::mmap::mmap_enabled`]) the returned
+/// graph borrows its sections zero-copy from a mapping of the file; otherwise it is
+/// read into owned memory. Either way the full validation of [`read_pcsr`] applies and
+/// the resulting [`Csr`] is bit-identical.
+pub fn load_pcsr(path: &Path) -> Result<Csr, IoError> {
+    if mmap_enabled() {
+        MappedPcsr::open(path)?.to_csr()
+    } else {
+        load_pcsr_owned(path)
+    }
+}
+
+/// One lazily-verified section of a mapped snapshot.
+struct MappedSection<T: Send + Sync + 'static> {
+    /// Byte range of the element data within the file; the 8-byte checksum follows.
+    data: std::ops::Range<usize>,
+    /// Set on first touch: the verified zero-copy (or decoded) view, or the
+    /// verification error message.
+    cell: OnceLock<Result<SharedSlice<T>, String>>,
+}
+
+impl<T: Send + Sync + 'static> MappedSection<T> {
+    fn new(data: std::ops::Range<usize>) -> Self {
+        Self {
+            data,
+            cell: OnceLock::new(),
+        }
+    }
+}
+
+/// Reinterprets little-endian element bytes as a typed slice when the platform allows
+/// a zero-copy view (little-endian target, aligned pointer); `None` otherwise.
+fn cast_le_slice<T: Copy>(bytes: &[u8]) -> Option<&[T]> {
+    if cfg!(not(target_endian = "little")) {
+        return None;
+    }
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size)
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>())
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; `T` here is only ever `u32` or
+    // `u64` (plain-old-data, any bit pattern valid), and on little-endian targets the
+    // in-memory representation matches the file's little-endian encoding.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) })
+}
+
+/// A `.pcsr` snapshot opened through [`Mapping`], with sections verified lazily.
+///
+/// The 32-byte header and the exact file length are validated eagerly on
+/// [`MappedPcsr::open`]. Each section's checksum is verified on *first touch* of that
+/// section (`row_offsets()` / `col_indices()` / `weights()`), and the verdict is
+/// cached: a checksum flip in, say, the weights section is only reported when weights
+/// are first accessed — and then on every subsequent access. On little-endian targets
+/// the returned [`SharedSlice`]s borrow directly from the mapping (zero copy); the
+/// mapping stays alive as long as any view (or a [`Csr`] built from them) does.
+pub struct MappedPcsr {
+    map: Arc<Mapping>,
+    origin: PathBuf,
+    header: PcsrHeader,
+    row_offsets: MappedSection<u64>,
+    col_indices: MappedSection<u32>,
+    weights: MappedSection<u32>,
+}
+
+impl std::fmt::Debug for MappedPcsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedPcsr")
+            .field("origin", &self.origin)
+            .field("num_vertices", &self.header.num_vertices)
+            .field("num_edges", &self.header.num_edges)
+            .field("mapped", &self.map.is_mapped())
+            .finish()
+    }
+}
+
+impl MappedPcsr {
+    /// Opens `path`, validating the header and total file length. Section payloads are
+    /// *not* touched (and on a real mapping, not paged in) until first access.
+    pub fn open(path: &Path) -> Result<Self, IoError> {
+        let map = Mapping::open(path).map_err(|e| IoError::io(path, e))?;
+        Self::from_mapping(Arc::new(map), path)
+    }
+
+    /// Like [`MappedPcsr::open`] but never maps — reads the file into an owned buffer.
+    /// Useful to force the owned path regardless of [`mmap_enabled`].
+    pub fn open_owned(path: &Path) -> Result<Self, IoError> {
+        let map = Mapping::open_owned(path).map_err(|e| IoError::io(path, e))?;
+        Self::from_mapping(Arc::new(map), path)
+    }
+
+    fn from_mapping(map: Arc<Mapping>, path: &Path) -> Result<Self, IoError> {
+        let bytes = map.bytes();
+        if bytes.len() < 32 {
+            return Err(IoError::format(path, "truncated header (need 32 bytes)"));
+        }
+        let header_bytes: &[u8; 32] = bytes[0..32].try_into().unwrap();
+        let header = parse_header(header_bytes, path)?;
+        let expected = header.expected_len();
+        if (bytes.len() as u64) < expected {
+            return Err(IoError::format(
+                path,
+                format!(
+                    "truncated snapshot: {} bytes, header declares {expected}",
+                    bytes.len()
+                ),
+            ));
+        }
+        if bytes.len() as u64 > expected {
+            return Err(IoError::format(
+                path,
+                "trailing bytes after the weights section",
+            ));
+        }
+        let ro_len = (header.num_vertices as usize + 1) * 8;
+        let ci_len = header.num_edges as usize * 4;
+        let ro_start = 32;
+        let ci_start = ro_start + ro_len + 8;
+        let w_start = ci_start + ci_len + 8;
+        Ok(Self {
+            map,
+            origin: path.to_path_buf(),
+            header,
+            row_offsets: MappedSection::new(ro_start..ro_start + ro_len),
+            col_indices: MappedSection::new(ci_start..ci_start + ci_len),
+            weights: MappedSection::new(w_start..w_start + ci_len),
+        })
+    }
+
+    /// The validated header counts.
+    pub fn header(&self) -> PcsrHeader {
+        self.header
+    }
+
+    /// Whether the underlying bytes are an actual memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    fn section<T: Copy + Send + Sync + 'static>(
+        &self,
+        sec: &MappedSection<T>,
+        name: &str,
+        decode: fn(&[u8]) -> Vec<T>,
+    ) -> Result<SharedSlice<T>, IoError> {
+        let out = sec.cell.get_or_init(|| {
+            let bytes = self.map.bytes();
+            let data = &bytes[sec.data.clone()];
+            let stored_at = sec.data.end;
+            let stored = u64::from_le_bytes(bytes[stored_at..stored_at + 8].try_into().unwrap());
+            let mut hasher = Fnv64::new();
+            hasher.update(data);
+            if hasher.finish() != stored {
+                return Err(format!("{name} checksum mismatch"));
+            }
+            let range = sec.data.clone();
+            match cast_le_slice::<T>(data) {
+                Some(_) => Ok(SharedSlice::from_arc_with(Arc::clone(&self.map), |m| {
+                    // Recompute inside the projection so the borrow ties to the owner
+                    // `Arc`, not to `self`. The cast succeeded above on the same bytes.
+                    cast_le_slice::<T>(&m.bytes()[range]).unwrap()
+                })),
+                None => Ok(SharedSlice::from_vec(decode(data))),
+            }
+        });
+        match out {
+            Ok(view) => Ok(view.clone()),
+            Err(msg) => Err(IoError::format(&self.origin, msg.clone())),
+        }
+    }
+
+    /// The row-offset section, checksum-verified on first touch.
+    pub fn row_offsets(&self) -> Result<SharedSlice<u64>, IoError> {
+        self.section(&self.row_offsets, "row_offsets", |data| {
+            data.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+    }
+
+    /// The column-index section, checksum-verified on first touch.
+    pub fn col_indices(&self) -> Result<SharedSlice<u32>, IoError> {
+        self.section(&self.col_indices, "col_indices", decode_u32)
+    }
+
+    /// The weights section, checksum-verified on first touch.
+    pub fn weights(&self) -> Result<SharedSlice<u32>, IoError> {
+        self.section(&self.weights, "weights", decode_u32)
+    }
+
+    /// Builds a [`Csr`] borrowing all three sections (verifying any not yet touched),
+    /// running the same structural validation as the owned reader.
+    pub fn to_csr(&self) -> Result<Csr, IoError> {
+        let ro = self.row_offsets()?;
+        let ci = self.col_indices()?;
+        let w = self.weights()?;
+        Csr::try_from_shared(ro, ci, w).map_err(|e| IoError::graph(&self.origin, e))
+    }
+}
+
+fn decode_u32(data: &[u8]) -> Vec<u32> {
+    data.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -291,6 +551,103 @@ mod tests {
         header.extend_from_slice(&h.finish().to_le_bytes());
         let err = read_pcsr(&header[..], &origin()).expect_err("must fail cleanly");
         assert!(format!("{err}").contains("truncated"), "{err}");
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("piccolo-pcsr-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_reader_matches_owned_reader() {
+        let g = generate::kronecker(9, 7, 11);
+        let path = tmp_path("mapped-match.pcsr");
+        save_pcsr(&path, &g).unwrap();
+
+        let mapped = MappedPcsr::open(&path).unwrap();
+        assert_eq!(mapped.header().num_vertices, g.num_vertices() as u64);
+        assert_eq!(mapped.header().num_edges, g.num_edges());
+        let via_map = mapped.to_csr().unwrap();
+        let via_read = load_pcsr_owned(&path).unwrap();
+        assert_eq!(via_map, via_read);
+        assert_eq!(via_map, g);
+
+        // Zero-copy on mapped little-endian targets: the row-offset slice points into
+        // the file mapping, not the heap.
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        assert!(mapped.is_mapped());
+
+        // The Csr (and its clones) keep the mapping alive after the reader is gone.
+        drop(mapped);
+        assert_eq!(via_map.num_edges(), g.num_edges());
+        let clone = via_map.clone();
+        drop(via_map);
+        assert_eq!(clone, g);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_reader_verifies_sections_lazily_on_first_touch() {
+        let g = generate::uniform(200, 800, 21);
+        let mut bytes = bytes_of(&g);
+        // Flip one byte inside the *weights* payload (last section, before its final
+        // 8-byte checksum).
+        let w_payload = bytes.len() - 10;
+        bytes[w_payload] ^= 0xff;
+        let path = tmp_path("lazy-corrupt.pcsr");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mapped = MappedPcsr::open(&path).expect("header is intact, open must succeed");
+        // Untouched sections verify clean.
+        assert!(mapped.row_offsets().is_ok());
+        assert!(mapped.col_indices().is_ok());
+        // First touch of the corrupted section reports the flip...
+        let err = mapped
+            .weights()
+            .expect_err("corrupt weights must be detected");
+        assert!(format!("{err}").contains("weights checksum"), "{err}");
+        // ...and so does every later touch (the verdict is cached, not forgotten).
+        assert!(mapped.weights().is_err());
+        assert!(mapped.to_csr().is_err());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_pcsr_respects_the_no_mmap_knob_with_identical_results() {
+        let g = generate::kronecker(8, 5, 3);
+        let path = tmp_path("knob.pcsr");
+        save_pcsr(&path, &g).unwrap();
+        let mapped = MappedPcsr::open(&path).unwrap().to_csr().unwrap();
+        let owned = MappedPcsr::open_owned(&path).unwrap();
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped, owned.to_csr().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_reader_rejects_truncation_and_trailing_bytes_eagerly() {
+        let g = generate::uniform(50, 200, 7);
+        let good = bytes_of(&g);
+        let path = tmp_path("sized.pcsr");
+
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(
+            MappedPcsr::open(&path).is_err(),
+            "truncation must fail open"
+        );
+
+        let mut padded = good.clone();
+        padded.push(0);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(
+            MappedPcsr::open(&path).is_err(),
+            "trailing bytes must fail open"
+        );
+
+        std::fs::write(&path, &good).unwrap();
+        assert!(MappedPcsr::open(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

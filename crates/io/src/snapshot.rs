@@ -10,8 +10,10 @@
 //! directory and can be overridden with the `PICCOLO_SNAPSHOT_DIR` environment
 //! variable or an explicit argument.
 
+use crate::compress;
 use crate::error::IoError;
-use crate::hash::{hash_file, Fnv64};
+use crate::hash::{fnv64, hash_file, Fnv64};
+use crate::partition::{is_pcsr_dir, load_pcsr_dir};
 use crate::pcsr::{load_pcsr, save_pcsr};
 use crate::text::{load_text, TextFormat};
 use piccolo_graph::Csr;
@@ -69,11 +71,15 @@ pub fn load_graph(path: &Path) -> Result<LoadedGraph, IoError> {
 
 /// Loads a graph file through the snapshot cache.
 ///
-/// * A `.pcsr` input is read directly ([`SnapshotStatus::Direct`]).
+/// * A `.pcsr` input is read directly ([`SnapshotStatus::Direct`]) — memory-mapped
+///   zero-copy when mapping is enabled (see [`crate::mmap::mmap_enabled`]).
+/// * A partitioned `.pcsr.d/` directory is assembled directly, tile by tile.
 /// * Otherwise the file's content hash keys a snapshot in `cache_dir`: a valid
 ///   snapshot is loaded without touching the text ([`SnapshotStatus::Hit`]); a missing
 ///   or corrupt one re-parses the text and (re)writes the snapshot
-///   ([`SnapshotStatus::Miss`]).
+///   ([`SnapshotStatus::Miss`]). Compressed sources (gzip/zstd) hash by their
+///   *decompressed* content, so they share the cache entry — and the snapshot bytes —
+///   of their plain-text equivalent.
 ///
 /// `format` overrides extension-based detection ([`TextFormat::from_path`]).
 pub fn load_graph_with(
@@ -81,6 +87,13 @@ pub fn load_graph_with(
     format: Option<TextFormat>,
     cache_dir: &Path,
 ) -> Result<LoadedGraph, IoError> {
+    if is_pcsr_dir(path) {
+        return Ok(LoadedGraph {
+            graph: load_pcsr_dir(path)?,
+            status: SnapshotStatus::Direct,
+            snapshot: None,
+        });
+    }
     if path.extension().and_then(|e| e.to_str()) == Some("pcsr") {
         return Ok(LoadedGraph {
             graph: load_pcsr(path)?,
@@ -120,17 +133,24 @@ pub fn load_graph_with(
 }
 
 /// The snapshot file a given source file maps to: `<stem>-<content-hash>.pcsr` inside
-/// `cache_dir`, where the hash covers the format tag and the raw source bytes.
+/// `cache_dir`, where the hash covers the format tag and the *decompressed* source
+/// bytes (for a plain file those are its raw bytes). A compressed source therefore
+/// maps to the same snapshot file as its decompressed equivalent: one cache entry,
+/// byte-identical snapshots, regardless of how the text arrived.
 pub fn snapshot_path(
     path: &Path,
     format: TextFormat,
     cache_dir: &Path,
 ) -> Result<PathBuf, IoError> {
-    let content = hash_file(path).map_err(|e| IoError::io(path, e))?;
+    let content = match compress::decompress_file(path)? {
+        Some(bytes) => fnv64(&bytes),
+        None => hash_file(path).map_err(|e| IoError::io(path, e))?,
+    };
     let mut key = Fnv64::new();
     key.update(format.name().as_bytes());
     key.update(&content.to_le_bytes());
-    let stem: String = path
+    let stripped = compress::strip_extension(path);
+    let stem: String = stripped
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("graph")
@@ -240,6 +260,49 @@ mod tests {
             load_graph_with(&src, None, &cache).unwrap().status,
             SnapshotStatus::Hit
         );
+    }
+
+    #[test]
+    fn compressed_and_plain_sources_share_one_cache_entry() {
+        let scratch = Scratch::new("compressed-key");
+        let g = generate::kronecker(8, 5, 23);
+        let plain = scratch.path("demo.tsv");
+        write_edge_file(&plain, &g);
+        let gz = scratch.path("demo.tsv.gz");
+        std::fs::write(
+            &gz,
+            crate::inflate::gzip_compress(&std::fs::read(&plain).unwrap()),
+        )
+        .unwrap();
+        let cache = scratch.path("snaps");
+
+        // Same key for plain and gzip: the gzip load misses once, the plain load
+        // then *hits* the very same snapshot file.
+        let from_gz = load_graph_with(&gz, None, &cache).unwrap();
+        assert_eq!(from_gz.status, SnapshotStatus::Miss);
+        let from_plain = load_graph_with(&plain, None, &cache).unwrap();
+        assert_eq!(
+            from_plain.status,
+            SnapshotStatus::Hit,
+            "plain text must hit the snapshot written by its compressed twin"
+        );
+        assert_eq!(from_gz.snapshot, from_plain.snapshot);
+        assert_eq!(from_gz.graph, g);
+        assert_eq!(from_plain.graph, g);
+        let entries = std::fs::read_dir(&cache).unwrap().count();
+        assert_eq!(entries, 1, "exactly one cache entry for both inputs");
+    }
+
+    #[test]
+    fn pcsr_dir_input_loads_directly() {
+        let scratch = Scratch::new("dir-direct");
+        let g = generate::uniform(150, 700, 6);
+        let dir = scratch.path("g.pcsr.d");
+        crate::partition::save_pcsr_dir(&dir, &g, 3).unwrap();
+        let loaded = load_graph_with(&dir, None, &scratch.path("snaps")).unwrap();
+        assert_eq!(loaded.status, SnapshotStatus::Direct);
+        assert_eq!(loaded.graph, g);
+        assert!(loaded.snapshot.is_none());
     }
 
     #[test]

@@ -57,8 +57,11 @@ impl TextFormat {
     }
 
     /// Guesses the format from a file extension (`.mtx`, `.tsv`/`.snap`, everything
-    /// else defaults to the plain edge list, which also accepts SNAP files).
+    /// else defaults to the plain edge list, which also accepts SNAP files). A
+    /// trailing compression extension (`.gz`, `.zst`) is stripped first, so
+    /// `web.tsv.gz` detects as SNAP TSV.
     pub fn from_path(path: &Path) -> TextFormat {
+        let path = crate::compress::strip_extension(path);
         match path.extension().and_then(|e| e.to_str()) {
             Some("mtx") => TextFormat::MatrixMarket,
             Some("tsv") | Some("snap") => TextFormat::SnapTsv,
@@ -85,8 +88,13 @@ pub fn default_weight(src: VertexId, dst: VertexId) -> Weight {
 
 /// Opens `path` and parses it as `format`, streaming the text through a buffered
 /// reader. The vertex count is the maximum endpoint + 1 (or the declared dimension for
-/// MatrixMarket).
+/// MatrixMarket). A gzip- or zstd-compressed file (recognized by magic bytes, see
+/// [`crate::compress`]) is decompressed first and parses identically to its plain
+/// form.
 pub fn load_text(path: &Path, format: TextFormat) -> Result<EdgeList, IoError> {
+    if let Some(bytes) = crate::compress::decompress_file(path)? {
+        return read_text(std::io::Cursor::new(bytes), format, path);
+    }
     let file = std::fs::File::open(path).map_err(|e| IoError::io(path, e))?;
     read_text(std::io::BufReader::new(file), format, path)
 }

@@ -102,18 +102,27 @@ fn resume_finishes_a_truncated_journal_with_identical_bytes() {
         .lines()
         .map(str::to_string)
         .collect();
-    assert_eq!(lines.len(), total, "one journal line per completed unit");
+    assert_eq!(
+        lines.len(),
+        total + full.run.stats.graphs_built,
+        "one journal line per completed unit or graph build"
+    );
 
-    // Killing the campaign after any prefix of completed units (here: several Rng64-
+    // Killing the campaign after any prefix of completed lines (here: several Rng64-
     // chosen truncation points) must leave a journal that resumes to the same bytes.
+    // A prefix holds a mix of unit and graph-build lines; only the units replay.
     let mut rng = Rng64::seed_from_u64(42);
     for trial in 0..3 {
-        let keep = (rng.next_u64() as usize) % total;
+        let keep = (rng.next_u64() as usize) % lines.len();
+        let kept_units = lines[..keep]
+            .iter()
+            .filter(|l| !l.contains("\"built\":"))
+            .count();
         let part = dir.join(format!("journal-trunc-{trial}.jsonl"));
         std::fs::write(&part, format!("{}\n", lines[..keep].join("\n"))).unwrap();
         let resumed = runner.run_campaign_resumed(scale, &specs, &part).unwrap();
-        assert_eq!(resumed.replayed, keep, "trial {trial} (keep {keep})");
-        assert_eq!(resumed.executed, total - keep);
+        assert_eq!(resumed.replayed, kept_units, "trial {trial} (keep {keep})");
+        assert_eq!(resumed.executed, total - kept_units);
         assert_eq!(resumed.corrupt, 0);
         assert_eq!(
             results_json(scale, &resumed.run.figures),
@@ -151,15 +160,20 @@ fn corrupted_journal_entries_are_ignored_and_rerun() {
         .map(str::to_string)
         .collect();
 
-    // Flip one checksum nibble in a few Rng64-chosen lines: each corrupted entry must
-    // be ignored (never a wrong result), its unit re-run, and the output unchanged.
+    // Flip one checksum nibble in a few Rng64-chosen *unit* lines: each corrupted
+    // entry must be ignored (never a wrong result), its unit re-run, and the output
+    // unchanged. (Build lines are exercised separately below — they carry no replay
+    // obligation, so corrupting one must not re-run anything.)
     let mut rng = Rng64::seed_from_u64(7);
     for trial in 0..3 {
         let n_corrupt = 1 + (rng.next_u64() as usize) % 3;
         let mut damaged = lines.clone();
         let mut hit = std::collections::BTreeSet::new();
         while hit.len() < n_corrupt {
-            hit.insert((rng.next_u64() as usize) % damaged.len());
+            let i = (rng.next_u64() as usize) % damaged.len();
+            if !damaged[i].contains("\"built\":") {
+                hit.insert(i);
+            }
         }
         for &i in &hit {
             let mut bytes = damaged[i].clone().into_bytes();
@@ -177,6 +191,22 @@ fn corrupted_journal_entries_are_ignored_and_rerun() {
             expected,
             "trial {trial}: {n_corrupt} corrupt line(s) must not change a byte"
         );
+    }
+
+    // A corrupted graph-*build* line costs nothing: it is dropped as corrupt, but no
+    // unit re-runs and every graph build is still skipped via the surviving units.
+    if let Some(build_idx) = lines.iter().position(|l| l.contains("\"built\":")) {
+        let mut damaged = lines.clone();
+        let mut bytes = damaged[build_idx].clone().into_bytes();
+        bytes[0] = if bytes[0] == b'0' { b'1' } else { b'0' };
+        damaged[build_idx] = String::from_utf8(bytes).unwrap();
+        let path = dir.join("journal-corrupt-build.jsonl");
+        std::fs::write(&path, format!("{}\n", damaged.join("\n"))).unwrap();
+        let resumed = runner.run_campaign_resumed(scale, &specs, &path).unwrap();
+        assert_eq!(resumed.corrupt, 1);
+        assert_eq!(resumed.executed, 0, "no unit re-runs for a lost build line");
+        assert_eq!(resumed.replayed, total);
+        assert_eq!(results_json(scale, &resumed.run.figures), expected);
     }
 
     // Foreign garbage appended to a journal is also just skipped.
