@@ -22,6 +22,7 @@
 //! assert!(result.accel_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

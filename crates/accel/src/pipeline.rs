@@ -302,7 +302,7 @@ impl ChunkTrace {
             let take = added.min(u32::MAX as u64) as u32;
             match self.ops.last_mut() {
                 Some(TraceOp::Pure(k)) if (*k as u64 + take as u64) <= u32::MAX as u64 => {
-                    *k += take
+                    *k += take;
                 }
                 _ => self.ops.push(TraceOp::Pure(take)),
             }
@@ -559,7 +559,7 @@ impl<'a, P: VertexProgram> ScatterContext<'a, P> {
     pub fn stream(&mut self, base: u64, offset: u64, bytes: u64, write: bool, region: Region) {
         match &mut self.backend {
             Backend::Direct { reqs, .. } => {
-                stream_requests(reqs, base, offset, bytes, write, region)
+                stream_requests(reqs, base, offset, bytes, write, region);
             }
             Backend::Record(trace) => {
                 let before = trace.pure.len();
@@ -621,7 +621,7 @@ impl<'a, P: VertexProgram> ScatterContext<'a, P> {
             });
             match &mut self.backend {
                 Backend::Direct { reqs, .. } => {
-                    sparse_frontier_requests(reqs, addrs, fine, nmp, self.mapper, items_per_op)
+                    sparse_frontier_requests(reqs, addrs, fine, nmp, self.mapper, items_per_op);
                 }
                 Backend::Record(trace) => {
                     let before = trace.pure.len();
@@ -694,8 +694,8 @@ pub(crate) fn sparse_frontier_requests(
     items_per_op: u32,
 ) {
     if fine_grained {
-        let mut by_row: std::collections::HashMap<piccolo_dram::RowId, Vec<u16>> =
-            std::collections::HashMap::new();
+        let mut by_row: std::collections::BTreeMap<piccolo_dram::RowId, Vec<u16>> =
+            std::collections::BTreeMap::new();
         let mut order = Vec::new();
         for (addr, _useful) in addrs {
             let loc = mapper.decompose(addr);
@@ -761,7 +761,7 @@ impl ScatterPlan {
     /// [`ScatterGroup`] invariants (fall back to the serial interior) or the division
     /// degenerates to one worker.
     fn new(
-        groups: Vec<ScatterGroup>,
+        groups: &[ScatterGroup],
         workers: usize,
         num_vertices: u32,
         num_chunks: usize,
@@ -773,7 +773,7 @@ impl ScatterPlan {
         // chunk index mentioned exactly once.
         let mut next_dst = 0u32;
         let mut seen = vec![false; num_chunks];
-        for g in &groups {
+        for g in groups {
             if g.dst_range.0 != next_dst || g.dst_range.1 < g.dst_range.0 {
                 return None;
             }
@@ -886,7 +886,7 @@ where
     let num_chunks = traversal.num_chunks();
     let intra = parallel::intra_jobs();
     let plan = if intra > 1 {
-        ScatterPlan::new(traversal.groups(), intra, n, num_chunks)
+        ScatterPlan::new(&traversal.groups(), intra, n, num_chunks)
     } else {
         None
     };

@@ -36,6 +36,8 @@
 //! every `N`, and with `N > 1` the harness times one large unit serial-vs-parallel
 //! and records the wall-clock speedup in `BENCH.json`'s `intra` section.
 
+#![forbid(unsafe_code)]
+
 use piccolo::experiments::{self, Scale};
 use piccolo::sweep::{effective_unit_jobs, ExperimentSpec, SweepRunner};
 use piccolo_algo::Algorithm;
@@ -152,7 +154,7 @@ fn main() {
                 Some(v) => {
                     jobs = v
                         .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")))
+                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
                 }
                 None => fail("--jobs needs a value"),
             },
@@ -160,7 +162,7 @@ fn main() {
                 Some(v) => {
                     intra_jobs = v
                         .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")))
+                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")));
                 }
                 None => fail("--intra-jobs needs a value"),
             },

@@ -38,6 +38,8 @@
 //! `external` figure runs. Each load reports `snapshot cache hit|miss` (or `direct`
 //! for `.pcsr` inputs) on stderr; the second run of the same file always hits.
 
+#![forbid(unsafe_code)]
+
 use piccolo::campaign::{merge_shards, CampaignStats, Shard};
 use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
 use piccolo::report::{results_json, FigureRows};
@@ -124,7 +126,7 @@ fn main() {
                 Some(v) => {
                     jobs = v
                         .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")))
+                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
                 }
                 None => fail("--jobs needs a value"),
             },
@@ -132,7 +134,7 @@ fn main() {
                 Some(v) => {
                     intra_jobs = v
                         .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")))
+                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")));
                 }
                 None => fail("--intra-jobs needs a value"),
             },

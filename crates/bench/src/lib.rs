@@ -8,6 +8,8 @@
 //! metric name to the minimum acceptable value. Metrics are **model outputs** (cycle
 //! ratios), not wall-clock, so they are deterministic and safe to gate CI on.
 
+#![forbid(unsafe_code)]
+
 use piccolo::campaign::CampaignStats;
 use piccolo::experiments::{geomean, Point};
 use piccolo::json::Json;
@@ -438,7 +440,7 @@ pub fn check_trajectory(
                 "metric '{name}' fell below its best committed value: {value:.6} < {best:.6}"
             )),
             Some((_, value)) if *value > best + TRAJECTORY_EPS => {
-                improved.push((name.clone(), *value))
+                improved.push((name.clone(), *value));
             }
             Some(_) => {}
         }

@@ -10,7 +10,7 @@
 
 use crate::stats::CacheStats;
 use piccolo_dram::{MemRequest, Region, RowId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics specific to the collection-extended MSHR.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,8 +53,8 @@ pub struct CollectionMshr {
     region: Region,
     items_per_op: u32,
     capacity_entries: usize,
-    gather: HashMap<RowId, Entry>,
-    scatter: HashMap<RowId, Entry>,
+    gather: BTreeMap<RowId, Entry>,
+    scatter: BTreeMap<RowId, Entry>,
     clock: u64,
     stats: CollectionMshrStats,
 }
@@ -77,8 +77,8 @@ impl CollectionMshr {
             region,
             items_per_op: items_per_op.max(1),
             capacity_entries: capacity_entries.max(2),
-            gather: HashMap::new(),
-            scatter: HashMap::new(),
+            gather: BTreeMap::new(),
+            scatter: BTreeMap::new(),
             clock: 0,
             stats: CollectionMshrStats::default(),
         }
@@ -205,13 +205,15 @@ impl CollectionMshr {
     /// operations.
     pub fn drain(&mut self) -> Vec<MemRequest> {
         let mut out = Vec::new();
-        let mut gathers: Vec<(RowId, Entry)> = self.gather.drain().collect();
+        let mut gathers: Vec<(RowId, Entry)> =
+            std::mem::take(&mut self.gather).into_iter().collect();
         gathers.sort_by_key(|(_, e)| e.stamp);
         for (row, entry) in gathers {
             self.stats.partial_ops += 1;
             out.push(self.make_request(row, entry.offsets, false));
         }
-        let mut scatters: Vec<(RowId, Entry)> = self.scatter.drain().collect();
+        let mut scatters: Vec<(RowId, Entry)> =
+            std::mem::take(&mut self.scatter).into_iter().collect();
         scatters.sort_by_key(|(_, e)| e.stamp);
         for (row, entry) in scatters {
             self.stats.partial_ops += 1;

@@ -22,6 +22,7 @@
 //! assert!(cache.access(0x1000, 8, false).hit);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

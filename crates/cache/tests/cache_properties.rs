@@ -19,7 +19,7 @@ const CASES: u64 = 32;
 /// verify write-back completeness: every dirty word must either still be in the cache or
 /// have been written back exactly as many times as it was evicted dirty.
 fn check_writeback_conservation<C: SectorCache>(mut cache: C, ops: &[(u64, bool)]) {
-    check_writeback_conservation_inner(&mut cache, ops, true)
+    check_writeback_conservation_inner(&mut cache, ops, true);
 }
 
 /// `strict_spurious` is false for coarse-grained caches, whose 64 B line write-backs

@@ -70,7 +70,7 @@ use crate::json::{parse, Json};
 use crate::report::FigureRows;
 use crate::sweep::{run_indexed, ExperimentSpec, GraphKey, SweepRunner, Unit, UnitResult};
 use piccolo_graph::Csr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -253,7 +253,7 @@ struct Slot {
 /// dropped the moment its last consumer finishes (no graph stays pinned for the whole
 /// campaign).
 struct GraphStore {
-    slots: HashMap<GraphKey, Slot>,
+    slots: BTreeMap<GraphKey, Slot>,
 }
 
 impl GraphStore {
@@ -421,7 +421,7 @@ fn execute_selected(
     // scheduled consumer counts (for eviction), plus the number of builds a per-figure
     // scheduler would have performed over the same units, for the stats.
     let mut keys: Vec<GraphKey> = Vec::new();
-    let mut consumers: HashMap<GraphKey, usize> = HashMap::new();
+    let mut consumers: BTreeMap<GraphKey, usize> = BTreeMap::new();
     let mut figure_keys: Vec<Vec<GraphKey>> = vec![Vec::new(); specs.len()];
     let mut sim_runs = 0usize;
     let mut measure_units = 0usize;
@@ -959,7 +959,7 @@ mod tests {
         // would panic; if it somehow triggered a rebuild, the count would exceed 1.
         let specs = shared_graph_specs();
         for jobs in [1, 4] {
-            let counts: Mutex<HashMap<GraphKey, usize>> = Mutex::new(HashMap::new());
+            let counts: Mutex<BTreeMap<GraphKey, usize>> = Mutex::new(BTreeMap::new());
             let run = run_campaign_with(jobs, &specs, |(dataset, shift, seed)| {
                 *counts
                     .lock()
@@ -1106,7 +1106,6 @@ mod tests {
         let g = generate::kronecker(10, 4, 29);
         let loads = Arc::new(AtomicUsize::new(0));
         let ds = {
-            let g = g.clone();
             let loads = Arc::clone(&loads);
             external::register_lazy(
                 "campaign-test-oocore",

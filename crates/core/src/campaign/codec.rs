@@ -281,7 +281,7 @@ mod tests {
         assert_eq!(unit_result_to_json(&back).to_string(), text);
         match back {
             UnitResult::Points(pts) => {
-                assert_eq!(pts[0].value.to_bits(), std::f64::consts::PI.to_bits())
+                assert_eq!(pts[0].value.to_bits(), std::f64::consts::PI.to_bits());
             }
             UnitResult::Run(_) => panic!("kind flipped"),
         }

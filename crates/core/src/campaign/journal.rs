@@ -32,7 +32,7 @@ use super::plan_hex;
 use crate::json::{parse, Json};
 use crate::sweep::{ExperimentSpec, UnitResult};
 use piccolo_io::journal as lines;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::path::Path;
 use std::sync::Mutex;
@@ -42,7 +42,7 @@ use std::sync::Mutex;
 pub(crate) struct Replay {
     /// Verified entries by global unit index (first entry per slot wins; results are
     /// deterministic, so duplicates are necessarily identical).
-    pub entries: HashMap<usize, UnitResult>,
+    pub entries: BTreeMap<usize, UnitResult>,
     /// Lines dropped by the checksum / framing check.
     pub corrupt: usize,
     /// Well-formed entries for a *different* plan hash, an out-of-range slot, or a
@@ -103,7 +103,7 @@ pub(crate) fn read_replay(
             replay.mismatched += 1;
             continue;
         }
-        if let std::collections::hash_map::Entry::Vacant(slot) = replay.entries.entry(unit) {
+        if let std::collections::btree_map::Entry::Vacant(slot) = replay.entries.entry(unit) {
             match unit_result_from_json(result) {
                 Ok(r) => {
                     slot.insert(r);

@@ -78,6 +78,7 @@ pub struct Point {
 
 impl std::fmt::Display for Point {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // lint: allow(float-format-via-codec, stdout summary table only — results.json takes Point.value through Json::Num)
         write!(f, "{:<40} {:>12.4}", self.label, self.value)
     }
 }
@@ -223,7 +224,7 @@ fn fig09_point(case: &'static str, span: u64, stride: u64) -> Point {
         .elapsed_clocks();
     let fim_cfg = DramConfig::new(MemoryKind::Ddr4X16, 1, 4).with_fim();
     let mut fim = MemorySystem::new(fim_cfg);
-    let mut by_row: std::collections::HashMap<_, Vec<u16>> = std::collections::HashMap::new();
+    let mut by_row: std::collections::BTreeMap<_, Vec<u16>> = std::collections::BTreeMap::new();
     let mut order = Vec::new();
     for i in 0..items {
         let a = addr_of(i);

@@ -350,6 +350,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 character (the input is a &str, so boundaries
                     // are valid).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `self.bytes` came from a `&str` and `self.pos` only
+                    // advances by whole `len_utf8()` steps, so `rest` starts on a char
+                    // boundary of valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);

@@ -94,7 +94,7 @@ pub fn run_piccolo(query: &OlapQuery, cfg: DramConfig) -> OlapResult {
     let cfg = cfg.with_fim();
     let mapper = AddressMapper::new(&cfg);
     let mut mem = MemorySystem::new(cfg);
-    let mut by_row: std::collections::HashMap<RowId, Vec<u16>> = std::collections::HashMap::new();
+    let mut by_row: std::collections::BTreeMap<RowId, Vec<u16>> = std::collections::BTreeMap::new();
     let mut order: Vec<RowId> = Vec::new();
     for t in 0..query.tuples {
         for c in 0..query.columns {

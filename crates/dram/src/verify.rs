@@ -8,7 +8,7 @@
 
 use crate::config::DramConfig;
 use crate::system::{CommandKind, CommandRecord};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A single detected violation of a timing constraint.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +49,9 @@ pub fn check_trace(cfg: &DramConfig, trace: &[CommandRecord]) -> Vec<Violation> 
         last_rd: Option<u64>,
         last_wr_data_end: Option<u64>,
     }
-    let mut banks: HashMap<(u32, u32, u32), BankHist> = HashMap::new();
-    let mut rank_acts: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
-    let mut bus_intervals: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+    let mut banks: BTreeMap<(u32, u32, u32), BankHist> = BTreeMap::new();
+    let mut rank_acts: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+    let mut bus_intervals: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
 
     let mut sorted: Vec<&CommandRecord> = trace.iter().collect();
     sorted.sort_by_key(|r| r.time);

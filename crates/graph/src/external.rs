@@ -416,7 +416,7 @@ mod tests {
         assert_eq!(*graph(ida).unwrap(), g2);
         let fp2 = content_fingerprint(ida).unwrap();
         assert_ne!(fp1, fp2, "different content, different fingerprint");
-        register("ext-test-a", g1.clone());
+        register("ext-test-a", g1);
         assert_eq!(
             content_fingerprint(ida).unwrap(),
             fp1,

@@ -39,6 +39,8 @@ pub struct SharedSlice<T: 'static> {
 // element/owner types to be `Send + Sync`. The owner is type-erased but the
 // constructors require `Send + Sync` owners, and `T` is constrained here.
 unsafe impl<T: Send + Sync> Send for SharedSlice<T> {}
+// SAFETY: same argument as `Send` directly above — the view is immutable, and a
+// `&SharedSlice<T>` exposes nothing `&[T]`/`&Arc<O>` would not.
 unsafe impl<T: Send + Sync> Sync for SharedSlice<T> {}
 
 impl<T: 'static> SharedSlice<T> {

@@ -18,6 +18,8 @@
 //! manifest's) magic, version, checksums and structural invariants. Exit codes: 0
 //! success, 1 bad input file, 2 usage error.
 
+#![forbid(unsafe_code)]
+
 use piccolo_graph::Csr;
 use piccolo_io::{
     is_pcsr_dir, load_pcsr, load_pcsr_dir, load_text, pcsr_dir_info, save_pcsr, save_pcsr_dir,
@@ -72,6 +74,7 @@ fn print_info(path: &Path, g: &Csr) {
     println!("file:        {}", path.display());
     println!("vertices:    {}", g.num_vertices());
     println!("edges:       {}", g.num_edges());
+    // lint: allow(float-format-via-codec, human-facing CLI info line — never parsed back)
     println!("avg degree:  {:.3}", g.average_degree());
     println!("max degree:  {}", g.max_degree());
 }

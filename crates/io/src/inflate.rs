@@ -9,6 +9,7 @@
 //! exists so tests and CI can produce valid `.gz` inputs offline; it is not meant to
 //! shrink anything.
 
+use crate::bytes::le_u32;
 use std::fmt;
 
 /// Maximum bits in any DEFLATE Huffman code.
@@ -193,6 +194,7 @@ fn fixed_tables() -> (Huffman, Huffman) {
     lit[256..280].fill(7);
     lit[280..288].fill(8);
     let dist = [5u8; 30];
+    // lint: allow(panic-policy, the RFC 1951 fixed code lengths are compile-time constants Huffman::new cannot reject)
     (Huffman::new(&lit).unwrap(), Huffman::new(&dist).unwrap())
 }
 
@@ -400,8 +402,8 @@ fn gunzip_member<'a>(data: &'a [u8], out: &mut Vec<u8>) -> Result<&'a [u8], Infl
     if data.len() < trailer_at + 8 {
         return err("truncated gzip trailer");
     }
-    let stored_crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
-    let stored_isize = u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().unwrap());
+    let stored_crc = le_u32(data, trailer_at);
+    let stored_isize = le_u32(data, trailer_at + 4);
     let member = &out[before..];
     if crc32(member) != stored_crc {
         return err("gzip CRC32 mismatch");

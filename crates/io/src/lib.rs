@@ -47,6 +47,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bytes;
+
 pub mod compress;
 pub mod error;
 pub mod hash;

@@ -66,6 +66,8 @@ pub struct Mapping {
 // SAFETY: the mapped region is read-only for the lifetime of the value and unmapped
 // only on drop, so sharing/sending a `Mapping` is as safe as sharing `&[u8]`.
 unsafe impl Send for Mapping {}
+// SAFETY: same argument as `Send` directly above — the region is immutable for the
+// value's lifetime, so concurrent shared reads are as safe as `&[u8]`.
 unsafe impl Sync for Mapping {}
 
 impl Mapping {

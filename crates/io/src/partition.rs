@@ -96,7 +96,7 @@ pub fn save_pcsr_dir(dir: &Path, graph: &Csr, parts: usize) -> Result<(), IoErro
         let target = num_edges * k / parts as u64;
         let cut = ro.partition_point(|&off| off < target) as u64;
         let cut = cut.min(num_vertices);
-        if cut > *bounds.last().unwrap() && cut < num_vertices {
+        if cut > bounds.last().copied().unwrap_or(0) && cut < num_vertices {
             bounds.push(cut);
         }
     }

@@ -25,6 +25,7 @@
 //! [`Csr::try_from_raw`], so a corrupt or hand-edited snapshot fails with a typed
 //! [`IoError`] — never a panic, never a silently wrong graph.
 
+use crate::bytes::{le_array, le_u32, le_u64};
 use crate::error::IoError;
 use crate::hash::Fnv64;
 use crate::mmap::{mmap_enabled, Mapping};
@@ -130,20 +131,23 @@ impl PcsrHeader {
 }
 
 /// Parses and validates the 32-byte header: magic, version, checksum, count bounds.
-pub fn parse_header(header: &[u8; 32], origin: &Path) -> Result<PcsrHeader, IoError> {
+pub fn parse_header(header: &[u8], origin: &Path) -> Result<PcsrHeader, IoError> {
+    if header.len() < 32 {
+        return Err(IoError::format(origin, "truncated header (need 32 bytes)"));
+    }
     if header[0..4] != MAGIC {
         return Err(IoError::format(origin, "bad magic (not a .pcsr file)"));
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let version = le_u32(header, 4);
     if version != VERSION {
         return Err(IoError::format(
             origin,
             format!("unsupported version {version} (this reader understands {VERSION})"),
         ));
     }
-    let num_vertices = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    let num_edges = u64::from_le_bytes(header[16..24].try_into().unwrap());
-    let stored = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let num_vertices = le_u64(header, 8);
+    let num_edges = le_u64(header, 16);
+    let stored = le_u64(header, 24);
     let mut hasher = Fnv64::new();
     hasher.update(&header[0..24]);
     if hasher.finish() != stored {
@@ -232,7 +236,7 @@ fn read_section<R: Read, T, const N: usize>(
             .map_err(|_| IoError::format(origin, format!("truncated {name} section")))?;
         hasher.update(&buf[..take]);
         for chunk in buf[..take].chunks_exact(N) {
-            out.push(decode(chunk.try_into().unwrap()));
+            out.push(decode(le_array(chunk, 0)));
         }
         remaining -= take;
     }
@@ -347,11 +351,7 @@ impl MappedPcsr {
 
     fn from_mapping(map: Arc<Mapping>, path: &Path) -> Result<Self, IoError> {
         let bytes = map.bytes();
-        if bytes.len() < 32 {
-            return Err(IoError::format(path, "truncated header (need 32 bytes)"));
-        }
-        let header_bytes: &[u8; 32] = bytes[0..32].try_into().unwrap();
-        let header = parse_header(header_bytes, path)?;
+        let header = parse_header(bytes, path)?;
         let expected = header.expected_len();
         if (bytes.len() as u64) < expected {
             return Err(IoError::format(
@@ -403,7 +403,7 @@ impl MappedPcsr {
             let bytes = self.map.bytes();
             let data = &bytes[sec.data.clone()];
             let stored_at = sec.data.end;
-            let stored = u64::from_le_bytes(bytes[stored_at..stored_at + 8].try_into().unwrap());
+            let stored = le_u64(bytes, stored_at);
             let mut hasher = Fnv64::new();
             hasher.update(data);
             if hasher.finish() != stored {
@@ -414,6 +414,7 @@ impl MappedPcsr {
                 Some(_) => Ok(SharedSlice::from_arc_with(Arc::clone(&self.map), |m| {
                     // Recompute inside the projection so the borrow ties to the owner
                     // `Arc`, not to `self`. The cast succeeded above on the same bytes.
+                    // lint: allow(panic-policy, the identical cast succeeded two lines up on the same bytes; the projection closure has no error channel)
                     cast_le_slice::<T>(&m.bytes()[range]).unwrap()
                 })),
                 None => Ok(SharedSlice::from_vec(decode(data))),
@@ -428,9 +429,7 @@ impl MappedPcsr {
     /// The row-offset section, checksum-verified on first touch.
     pub fn row_offsets(&self) -> Result<SharedSlice<u64>, IoError> {
         self.section(&self.row_offsets, "row_offsets", |data| {
-            data.chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-                .collect()
+            data.chunks_exact(8).map(|c| le_u64(c, 0)).collect()
         })
     }
 
@@ -455,9 +454,7 @@ impl MappedPcsr {
 }
 
 fn decode_u32(data: &[u8]) -> Vec<u32> {
-    data.chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    data.chunks_exact(4).map(|c| le_u32(c, 0)).collect()
 }
 
 #[cfg(test)]
@@ -514,7 +511,7 @@ mod tests {
             );
         }
         // Trailing garbage is rejected.
-        let mut padded = good.clone();
+        let mut padded = good;
         padded.push(0);
         assert!(read_pcsr(&padded[..], &origin()).is_err());
     }

@@ -213,7 +213,7 @@ mod tests {
         let first = load_graph_with(&src, None, &cache).unwrap();
         assert_eq!(first.status, SnapshotStatus::Miss);
         assert_eq!(first.graph, g);
-        let snap = first.snapshot.clone().unwrap();
+        let snap = first.snapshot.unwrap();
         assert!(snap.is_file());
 
         let second = load_graph_with(&src, None, &cache).unwrap();

@@ -153,7 +153,11 @@ fn read_edge_lines<R: BufRead>(reader: &mut R, origin: &Path) -> Result<EdgeList
             continue;
         }
         let mut fields = line.split_ascii_whitespace();
-        let src = parse_vertex(fields.next().unwrap(), origin, line_no, 1)?;
+        let src = match fields.next() {
+            // Unreachable in practice: a trimmed non-empty line has a first field.
+            None => return Err(IoError::parse(origin, line_no, None, "empty edge line")),
+            Some(f) => parse_vertex(f, origin, line_no, 1)?,
+        };
         let dst = match fields.next() {
             Some(f) => parse_vertex(f, origin, line_no, 2)?,
             None => {

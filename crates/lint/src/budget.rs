@@ -1,0 +1,99 @@
+//! Parser for `lint-budget.toml` — the committed per-crate unsafe budget.
+//!
+//! The file is deliberately a tiny TOML subset (one `[unsafe-budget]` table of
+//! `name = integer` pairs, `#` comments), parsed by hand like every other
+//! format in this workspace; no TOML crate, no surprises.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The committed per-crate `unsafe` token counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Budget {
+    entries: BTreeMap<String, usize>,
+}
+
+impl Budget {
+    /// The budgeted count for `krate`, if listed.
+    pub fn get(&self, krate: &str) -> Option<usize> {
+        self.entries.get(krate).copied()
+    }
+
+    /// Crate names in the budget, sorted.
+    pub fn crates(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
+    /// Parses the `[unsafe-budget]` table. Errors carry the offending line.
+    pub fn parse(text: &str) -> Result<Budget, String> {
+        let mut entries = BTreeMap::new();
+        let mut in_section = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_section = line == "[unsafe-budget]";
+                if !in_section && line.ends_with(']') {
+                    continue;
+                }
+                if !line.ends_with(']') {
+                    return Err(format!("line {}: malformed section header", n + 1));
+                }
+                continue;
+            }
+            if !in_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `crate = count`", n + 1));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer", n + 1))?;
+            if entries.insert(key.clone(), count).is_some() {
+                return Err(format!("line {}: duplicate entry for {key}", n + 1));
+            }
+        }
+        if entries.is_empty() {
+            return Err("no [unsafe-budget] entries found".to_string());
+        }
+        Ok(Budget { entries })
+    }
+
+    /// Reads and parses the budget file at `path`.
+    pub fn load(path: &Path) -> Result<Budget, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_format() {
+        let b = Budget::parse(
+            "# per-crate unsafe counts\n[unsafe-budget]\npiccolo-io = 6\npiccolo-graph = 3 # ptr\n",
+        )
+        .unwrap();
+        assert_eq!(b.get("piccolo-io"), Some(6));
+        assert_eq!(b.get("piccolo-graph"), Some(3));
+        assert_eq!(b.get("piccolo-algo"), None);
+        assert_eq!(b.crates().count(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Budget::parse("[unsafe-budget]\npiccolo-io 6\n").is_err());
+        assert!(Budget::parse("[unsafe-budget]\npiccolo-io = six\n").is_err());
+        assert!(Budget::parse("[unsafe-budget]\na = 1\na = 2\n").is_err());
+        assert!(Budget::parse("").is_err());
+        assert!(Budget::parse("[other]\nx = 1\n").is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! This is not a full Rust lexer: it produces exactly the token stream the rule
+//! catalog needs — identifiers, literals, comments, and single-character
+//! punctuation, each with a byte range and a 1-based `line:col` position. The
+//! hard part (and the reason `grep` is not enough for any of the rules) is
+//! telling an identifier from the same characters inside a string literal, a
+//! raw string, a char literal, or a nested block comment. Everything here is
+//! resolved the way `rustc`'s real lexer resolves it:
+//!
+//! * line comments run to the newline; block comments nest;
+//! * strings handle every escape that can contain a quote (`\\`, `\"`);
+//! * raw strings `r##"…"##` match their exact hash count;
+//! * byte strings / byte chars are the same with a `b` prefix;
+//! * `'a` is a lifetime, `'a'` is a char literal (decided by lookahead, the
+//!   same single-quote disambiguation rustc performs);
+//! * `1.5`, `1e9`, and `1f64` are float literals, while `1..2` and
+//!   `1.max(2)` are not (dot lookahead).
+//!
+//! An unterminated literal or comment does not abort the file: the token is
+//! closed at end-of-input so rules can still run (and the real compiler will
+//! reject the file anyway).
+
+/// What a token is. Rules mostly match on `Ident` text and `Punct` characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// A lifetime such as `'a` or the label in `'outer: loop`.
+    Lifetime,
+    /// An integer literal, including its suffix if any (`42`, `0xFF`, `7u64`).
+    Int,
+    /// A float literal (`1.5`, `1e9`, `2f32`), including its suffix if any.
+    Float,
+    /// A string literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `// …` comment (includes doc comments `///` and `//!`).
+    LineComment,
+    /// A `/* … */` comment (nesting handled), including doc block comments.
+    BlockComment,
+    /// Any other single character (`{`, `}`, `:`, `#`, `!`, `.`, …).
+    Punct,
+}
+
+/// One token: kind plus its byte range and 1-based position in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the same string given to [`lex`]).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// The line this token *ends* on (differs from `line` for block comments
+    /// and multi-line strings).
+    pub fn end_line(&self, src: &str) -> u32 {
+        self.line
+            + src[self.start..self.end]
+                .bytes()
+                .filter(|&b| b == b'\n')
+                .count() as u32
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte (or one UTF-8 char for non-ASCII), tracking line/col.
+    fn bump(&mut self) {
+        if let Some(b) = self.bytes.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            // Skip the continuation bytes of a multi-byte char in one step so
+            // `col` counts characters-ish, not bytes, inside comments.
+            let mut next = self.pos + 1;
+            while next < self.bytes.len() && (self.bytes[next] & 0xC0) == 0x80 {
+                next += 1;
+            }
+            self.pos = next;
+        }
+    }
+
+    fn bump_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if f(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: malformed input produces best-effort tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump_while(|b| b != b'\n');
+                TokKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                TokKind::BlockComment
+            }
+            b'r' if raw_string_start(&cur, 1) => {
+                cur.bump();
+                lex_raw_string(&mut cur);
+                TokKind::Str
+            }
+            b'b' => match (cur.peek(1), cur.peek(2)) {
+                (Some(b'"'), _) => {
+                    cur.bump();
+                    lex_quoted(&mut cur, b'"');
+                    TokKind::Str
+                }
+                (Some(b'\''), _) => {
+                    cur.bump();
+                    lex_quoted(&mut cur, b'\'');
+                    TokKind::Char
+                }
+                (Some(b'r'), _) if raw_string_start(&cur, 2) => {
+                    cur.bump();
+                    cur.bump();
+                    lex_raw_string(&mut cur);
+                    TokKind::Str
+                }
+                _ => lex_ident(&mut cur),
+            },
+            b'"' => {
+                lex_quoted(&mut cur, b'"');
+                TokKind::Str
+            }
+            b'\'' => lex_single_quote(&mut cur),
+            b'0'..=b'9' => lex_number(&mut cur),
+            _ if is_ident_start(b) => lex_ident(&mut cur),
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// True when the cursor at offset `at` (after an `r` or `br` prefix) starts a
+/// raw string: zero or more `#` then `"`.
+fn raw_string_start(cur: &Cursor, at: usize) -> bool {
+    let mut i = at;
+    while cur.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    cur.peek(i) == Some(b'"')
+}
+
+fn lex_block_comment(cur: &mut Cursor) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => cur.bump(),
+            (None, _) => break,
+        }
+    }
+}
+
+/// Lexes a `"…"` / `'…'` body with escape handling; the cursor sits on the
+/// opening quote.
+fn lex_quoted(cur: &mut Cursor, quote: u8) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek(0) {
+        if b == b'\\' {
+            cur.bump();
+            cur.bump(); // the escaped char (any, incl. quote and backslash)
+        } else if b == quote {
+            cur.bump();
+            return;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Lexes `#…#"…"#…#` after the `r`/`br` prefix has been consumed.
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'scan: while let Some(b) = cur.peek(0) {
+        cur.bump();
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal), cursor on the `'`.
+fn lex_single_quote(cur: &mut Cursor) -> TokKind {
+    // `'` + ident-start + no closing `'` right after one ident char => lifetime.
+    // Everything else (escapes, `'x'`, `'\u{…}'`, even `'full_ident'` which
+    // real Rust rejects) is treated as a char literal.
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(1) != Some(b'\'') {
+        // Find where the identifier run ends.
+        let mut i = 2;
+        while cur.peek(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek(i) != Some(b'\'') {
+            cur.bump(); // '
+            cur.bump_while(is_ident_continue);
+            return TokKind::Lifetime;
+        }
+    }
+    lex_quoted(cur, b'\'');
+    TokKind::Char
+}
+
+fn lex_ident(cur: &mut Cursor) -> TokKind {
+    cur.bump_while(is_ident_continue);
+    TokKind::Ident
+}
+
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump();
+        cur.bump();
+        cur.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return TokKind::Int;
+    }
+    cur.bump_while(|b| b.is_ascii_digit() || b == b'_');
+    // A dot makes a float only when followed by a digit or nothing number-like:
+    // `1.5` is a float, `1..2` is a range, `1.max(2)` is a method call.
+    if cur.peek(0) == Some(b'.') {
+        match cur.peek(1) {
+            Some(b) if b.is_ascii_digit() => {
+                float = true;
+                cur.bump(); // '.'
+                cur.bump_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+            Some(b'.') => {}                   // range `1..`
+            Some(b) if is_ident_start(b) => {} // method call `1.max(…)`
+            _ => {
+                // Trailing-dot float `1.`
+                float = true;
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some(b'e' | b'E'))
+        && (cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+' | b'-'))
+                && cur.peek(2).is_some_and(|b| b.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump(); // e
+        if matches!(cur.peek(0), Some(b'+' | b'-')) {
+            cur.bump();
+        }
+        cur.bump_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // Suffix: `1f64` / `1.5f32` are floats; `1u64` stays an int.
+    if cur.peek(0) == Some(b'f')
+        && (cur.peek(1) == Some(b'3') && cur.peek(2) == Some(b'2')
+            || cur.peek(1) == Some(b'6') && cur.peek(2) == Some(b'4'))
+    {
+        float = true;
+    }
+    cur.bump_while(is_ident_continue);
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_inside_strings_and_comments_are_not_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted" inside raw"#;
+            let b = b"HashMap";
+            let real = HashMap::new();
+        "##;
+        let toks = kinds(src);
+        let ident_hits: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "HashMap")
+            .collect();
+        assert_eq!(ident_hits.len(), 1, "{toks:?}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_disambiguation() {
+        for (src, kind) in [
+            ("1.5", TokKind::Float),
+            ("1e9", TokKind::Float),
+            ("2f64", TokKind::Float),
+            ("3.0f32", TokKind::Float),
+            ("1.", TokKind::Float),
+            ("42", TokKind::Int),
+            ("0xFF", TokKind::Int),
+            ("7u64", TokKind::Int),
+        ] {
+            assert_eq!(lex(src)[0].kind, kind, "{src}");
+        }
+        // Ranges and method calls do not produce floats.
+        assert!(lex("1..2").iter().all(|t| t.kind != TokKind::Float));
+        assert!(lex("1.max(2)").iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "let x = 1;\n  let y = 2;";
+        let toks = lex(src);
+        let y = toks.iter().find(|t| t.text(src) == "y").expect("y token");
+        assert_eq!((y.line, y.col), (2, 7));
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_string_with_hashes_closes_on_matching_count() {
+        let src = r####"let s = r##"body with "# inside"##; let after = 1;"####;
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert!(s.text(src).ends_with("\"##"));
+        assert!(toks.iter().any(|t| t.text(src) == "after"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Clean fixture: the phase-profiler allowlist admits wall-clock reads here.
+
+pub fn profile() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: the bench harness may read clocks and format floats.
+
+pub fn timed() -> String {
+    let start = std::time::Instant::now();
+    let secs: f64 = start.elapsed().as_secs_f64();
+    format!("{secs:.3}")
+}

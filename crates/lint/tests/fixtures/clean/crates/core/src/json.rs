@@ -1,0 +1,5 @@
+//! Clean fixture: the codec files are the one place floats may be formatted.
+
+pub fn fmt(x: f64) -> String {
+    format!("{x:.17}")
+}

@@ -1,0 +1,32 @@
+//! Clean fixture: deterministic collections, budgeted unsafe, audited waiver.
+
+use std::collections::BTreeMap;
+
+/// A `BTreeMap` keeps iteration deterministic.
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+/// One budgeted `unsafe` with its safety argument.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so its base
+    // pointer is valid to read.
+    unsafe { *bytes.as_ptr() }
+}
+
+/// A waived HashMap mention, with the mandatory reason.
+pub fn waived() -> usize {
+    // lint: allow(no-hash-collections, fixture exercising an audited suppression)
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_collections_are_fine_in_tests() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert_eq!(m.len(), 0);
+    }
+}

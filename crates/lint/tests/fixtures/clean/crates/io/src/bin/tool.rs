@@ -1,0 +1,5 @@
+//! Clean fixture: binaries may unwrap at the CLI boundary.
+
+fn main() {
+    println!("{}", "7".parse::<u32>().unwrap());
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: test code may unwrap.
+
+#[test]
+fn parses() {
+    assert_eq!("7".parse::<u32>().unwrap(), 7);
+}

@@ -1,0 +1,7 @@
+//! Violation fixture: wall-clock read and float formatting in a result crate.
+
+pub fn stamp() -> String {
+    let t = std::time::Instant::now();
+    let secs: f64 = t.elapsed().as_secs_f64();
+    format!("{secs:.3}")
+}

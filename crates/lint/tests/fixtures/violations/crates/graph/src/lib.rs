@@ -1,0 +1,6 @@
+//! Violation fixture: nondeterministic map in a result-producing crate.
+
+pub fn lookup() -> usize {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}

@@ -1,0 +1,5 @@
+//! Violation fixture: `unsafe` without a SAFETY comment (also over budget).
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! Violation fixture: panic in the typed-IoError crate.
+
+pub fn must_parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example memory_design_space`
 
+#![forbid(unsafe_code)]
+
 use piccolo::experiments::{fig15, fig16, fig17, Scale};
 use piccolo_algo::Algorithm;
 use piccolo_graph::Dataset;

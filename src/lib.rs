@@ -16,4 +16,6 @@
 //! let report = Simulation::new(SystemKind::Piccolo).run(&graph, &Bfs::new(0));
 //! assert!(report.run.accel_cycles > 0);
 //! ```
+
+#![forbid(unsafe_code)]
 pub use piccolo::{Simulation, SystemKind};

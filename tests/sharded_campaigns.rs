@@ -210,7 +210,7 @@ fn corrupted_journal_entries_are_ignored_and_rerun() {
     }
 
     // Foreign garbage appended to a journal is also just skipped.
-    let mut with_garbage = lines.clone();
+    let mut with_garbage = lines;
     with_garbage.push("0123456789abcdef not-a-real-entry".to_string());
     with_garbage.push("trailing noise without a checksum".to_string());
     let path = dir.join("journal-garbage.jsonl");
