@@ -897,6 +897,10 @@ where
     let mut edges_processed = 0u64;
     let mut iterations = 0u32;
     let mut phases = PhaseBreakdown::default();
+    // Host wall-clock per phase, accumulated run-locally and published once at
+    // the end via `parallel::record_run_profile` so the profiler can attribute
+    // timings to this specific run (thread-local) as well as process-wide.
+    let mut host_profile = parallel::PhaseProfile::default();
     let all_active_algorithm = program.algorithm().is_all_active();
 
     for _iter in 0..cfg.max_iterations {
@@ -913,7 +917,7 @@ where
             temp[v] = program.temp_identity(v, graph);
         }
         touched.clear();
-        parallel::add_frontier_ns(t_frontier.elapsed().as_nanos() as u64);
+        host_profile.frontier_ns += t_frontier.elapsed().as_nanos() as u64;
 
         // Scatter phase (Algorithm 1 lines 1-5), in the traversal's order.
         let t_scatter = Instant::now();
@@ -977,7 +981,7 @@ where
                 num_chunks,
             ),
         };
-        parallel::add_scatter_ns(t_scatter.elapsed().as_nanos() as u64);
+        host_profile.scatter_ns += t_scatter.elapsed().as_nanos() as u64;
 
         // Apply phase (Algorithm 1 lines 6-10), functionally over every vertex, with
         // memory traffic charged for touched destinations only.
@@ -1041,7 +1045,7 @@ where
         if !apply_reqs.is_empty() {
             iter_apply_clocks += mem.service_batch(apply_reqs).elapsed_clocks();
         }
-        parallel::add_apply_ns(t_apply.elapsed().as_nanos() as u64);
+        host_profile.apply_ns += t_apply.elapsed().as_nanos() as u64;
 
         // Timing: compute overlaps memory when the prefetcher is enabled.
         let iter_mem_clocks = iter_scatter_clocks + iter_apply_clocks;
@@ -1069,7 +1073,7 @@ where
         } else {
             next_active
         };
-        parallel::add_frontier_ns(t_rebuild.elapsed().as_nanos() as u64);
+        host_profile.frontier_ns += t_rebuild.elapsed().as_nanos() as u64;
     }
 
     // Final flush: dirty vertex data must reach memory.
@@ -1084,6 +1088,7 @@ where
 
     let (tile_width, num_tiles) = traversal.shape();
     let mem_ns = mem.clocks_to_ns(total_mem_clocks);
+    parallel::record_run_profile(host_profile);
     RunResult {
         system: cfg.system,
         accel_cycles,

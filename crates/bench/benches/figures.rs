@@ -35,6 +35,10 @@
 //! worker threads (`docs/parallelism.md`); rows and metrics are byte-identical for
 //! every `N`, and with `N > 1` the harness times one large unit serial-vs-parallel
 //! and records the wall-clock speedup in `BENCH.json`'s `intra` section.
+//!
+//! Diagnostics go through the `piccolo-obs` stderr sink; `--log-level quiet` (or
+//! `error`/`warn`/`info`/`debug`) controls them (`docs/observability.md`). Tables and
+//! check verdicts stay on stdout.
 
 #![forbid(unsafe_code)]
 
@@ -46,6 +50,7 @@ use piccolo_bench::{
     IntraBench,
 };
 use piccolo_graph::Dataset;
+use piccolo_obs as obs;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -97,7 +102,8 @@ fn time_runs(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
 }
 
 fn fail(msg: &str) -> ! {
-    eprintln!("bench: {msg}");
+    obs::error(format!("bench: {msg}"));
+    obs::flush_sinks();
     std::process::exit(2);
 }
 
@@ -120,6 +126,7 @@ fn resolve_input(path: &str) -> std::path::PathBuf {
 }
 
 fn main() {
+    obs::init_stderr(obs::LevelFilter::Info);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter: Vec<String> = Vec::new();
     let mut quick = false;
@@ -165,6 +172,15 @@ fn main() {
                         .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")));
                 }
                 None => fail("--intra-jobs needs a value"),
+            },
+            "--log-level" => match it.next() {
+                Some(v) => match obs::LevelFilter::parse(v) {
+                    Some(filter) => obs::init_stderr(filter),
+                    None => fail(&format!(
+                        "invalid --log-level '{v}' (quiet|error|warn|info|debug)"
+                    )),
+                },
+                None => fail("--log-level needs a value"),
             },
             "--allow-regression" => allow_regression = true,
             "--update-ratchet" => update_ratchet = true,
@@ -314,7 +330,7 @@ fn main() {
         if let Err(e) = std::fs::write(path, doc) {
             fail(&format!("cannot write {path}: {e}"));
         }
-        eprintln!("wrote {path}");
+        obs::info(format!("wrote {path}"));
     }
 
     if let Some(path) = &check_path {
@@ -343,10 +359,11 @@ fn main() {
                 baselines.as_object().map(<[_]>::len).unwrap_or(0)
             );
         } else {
-            eprintln!("\nspeedup regression(s) against {path}:");
+            obs::error(format!("speedup regression(s) against {path}:"));
             for f in &failures {
-                eprintln!("  {f}");
+                obs::error(format!("  {f}"));
             }
+            obs::flush_sinks();
             std::process::exit(1);
         }
 
@@ -387,17 +404,23 @@ fn main() {
                     trajectory.as_object().map(<[_]>::len).unwrap_or(0)
                 );
             } else {
-                eprintln!(
-                    "\ntrajectory regression(s) against {}:",
+                let head = format!(
+                    "trajectory regression(s) against {}:",
                     trajectory_path.display()
                 );
-                for f in &failures {
-                    eprintln!("  {f}");
-                }
                 if allow_regression {
-                    eprintln!("continuing despite trajectory regressions (--allow-regression)");
+                    obs::warn(head);
+                    for f in &failures {
+                        obs::warn(format!("  {f}"));
+                    }
+                    obs::warn("continuing despite trajectory regressions (--allow-regression)");
                 } else {
-                    eprintln!("re-run with --allow-regression to downgrade these to warnings");
+                    obs::error(head);
+                    for f in &failures {
+                        obs::error(format!("  {f}"));
+                    }
+                    obs::error("re-run with --allow-regression to downgrade these to warnings");
+                    obs::flush_sinks();
                     std::process::exit(1);
                 }
             }
@@ -417,4 +440,5 @@ fn main() {
             }
         }
     }
+    obs::flush_sinks();
 }

@@ -2,7 +2,8 @@
 //!
 //! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N]
 //! [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR]
-//! [--shard I/N | --merge SHARD.json... | --resume JOURNAL]`
+//! [--shard I/N | --merge SHARD.json... | --resume JOURNAL]
+//! [--events PATH] [--metrics PATH] [--progress] [--log-level LEVEL]`
 //! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default when no
 //! `--external` is given).
@@ -37,6 +38,21 @@
 //! graph to the campaign. With `--external` and no explicit figures, only the
 //! `external` figure runs. Each load reports `snapshot cache hit|miss` (or `direct`
 //! for `.pcsr` inputs) on stderr; the second run of the same file always hits.
+//!
+//! **Observability** (`docs/observability.md`) — all host-side, never in results:
+//!
+//! * `--events PATH` streams the run's span/event log as checksummed
+//!   `piccolo-events/v1` JSONL (validate with `graphtool events-check PATH`) and, by
+//!   default, writes the campaign's `metrics.json` beside the working directory.
+//! * `--metrics PATH` writes the `piccolo-metrics/v1` aggregate registry explicitly.
+//! * `--progress` renders a live one-line status (units done per figure, active
+//!   builds, evictions, an ETA from the campaign's own unit-cost estimates).
+//! * `--log-level quiet|error|warn|info|debug` filters the stderr log (`quiet`
+//!   silences the drivers entirely; `debug` additionally prints span traffic).
+//!
+//! None of these flags change a single deterministic byte: `results.json`, shard
+//! documents and journals are `cmp`-identical with observability on or off (pinned by
+//! `tests/observability.rs` and the obs-smoke CI job).
 
 #![forbid(unsafe_code)]
 
@@ -44,15 +60,18 @@ use piccolo::campaign::{merge_shards, CampaignStats, Shard};
 use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
 use piccolo::report::{results_json, FigureRows};
 use piccolo::sweep::{effective_unit_jobs, SweepRunner};
-use std::path::PathBuf;
+use piccolo_obs as obs;
+use std::path::{Path, PathBuf};
 
 fn fail(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
-    eprintln!(
+    obs::error(format!("repro: {msg}"));
+    obs::error(
         "usage: repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N] \
          [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR] \
-         [--shard I/N | --merge SHARD.json... | --resume JOURNAL]"
+         [--shard I/N | --merge SHARD.json... | --resume JOURNAL] \
+         [--events PATH] [--metrics PATH] [--progress] [--log-level LEVEL]",
     );
+    obs::flush_sinks();
     std::process::exit(2);
 }
 
@@ -97,13 +116,31 @@ fn stats_line(stats: &CampaignStats, jobs: usize, scale: Scale, secs: f64) -> St
 
 fn write_out(path: &str, doc: &str) {
     if let Err(e) = std::fs::write(path, doc) {
-        eprintln!("repro: cannot write {path}: {e}");
+        obs::error(format!("repro: cannot write {path}: {e}"));
+        obs::flush_sinks();
         std::process::exit(1);
     }
-    eprintln!("wrote {path}");
+    obs::info(format!("wrote {path}"));
+}
+
+/// Writes the aggregated `piccolo-metrics/v1` registry, stamping the process's
+/// peak-memory gauges first (host-side, like everything else in the document).
+fn write_metrics(path: &Path) {
+    if let Some(memory) = piccolo_bench::memory_stats() {
+        obs::metrics::gauge_set("host/peak_rss_kb", memory.peak_rss_kb as f64);
+        obs::metrics::gauge_set("host/vm_peak_kb", memory.vm_peak_kb as f64);
+    }
+    match obs::metrics::write_metrics_file(path) {
+        Ok(()) => obs::info(format!("wrote {}", path.display())),
+        Err(e) => obs::error(format!("repro: cannot write {}: {e}", path.display())),
+    }
 }
 
 fn main() {
+    // Attach the leveled stderr sink before anything can log (including argument
+    // errors); --log-level re-applies the filter once parsed.
+    obs::init_stderr(obs::LevelFilter::Info);
+    obs::metrics::reset_metrics();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figures: Vec<String> = Vec::new();
     let mut quick = false;
@@ -115,6 +152,9 @@ fn main() {
     let mut shard: Option<Shard> = None;
     let mut merge_paths: Vec<String> = Vec::new();
     let mut resume_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut progress = false;
 
     // Space-separated flag values only (`--jobs 4`), matching the bench harness.
     let mut it = args.iter().peekable();
@@ -181,6 +221,24 @@ fn main() {
                 Some(v) => resume_path = Some(PathBuf::from(v)),
                 None => fail("--resume needs a journal path"),
             },
+            "--events" => match it.next() {
+                Some(v) => events_path = Some(PathBuf::from(v)),
+                None => fail("--events needs a path"),
+            },
+            "--metrics" => match it.next() {
+                Some(v) => metrics_path = Some(PathBuf::from(v)),
+                None => fail("--metrics needs a path"),
+            },
+            "--progress" => progress = true,
+            "--log-level" => match it.next() {
+                Some(v) => match obs::LevelFilter::parse(v) {
+                    Some(filter) => obs::init_stderr(filter),
+                    None => fail(&format!(
+                        "invalid --log-level '{v}' (quiet|error|warn|info|debug)"
+                    )),
+                },
+                None => fail("--log-level needs a value"),
+            },
             other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
             other => figures.push(other.to_string()),
         }
@@ -193,6 +251,24 @@ fn main() {
     ];
     if modes.into_iter().filter(|&m| m).count() > 1 {
         fail("--shard, --merge and --resume are mutually exclusive");
+    }
+
+    // Observability sinks. Attached before any campaign work so the event log sees
+    // the whole run; with --events and no explicit --metrics, the aggregate registry
+    // still lands beside the run as metrics.json.
+    if let Some(path) = &events_path {
+        if let Err(e) = obs::add_events_file(path) {
+            fail(&format!(
+                "cannot create events file {}: {e}",
+                path.display()
+            ));
+        }
+        if metrics_path.is_none() {
+            metrics_path = Some(PathBuf::from("metrics.json"));
+        }
+    }
+    if progress {
+        obs::add_progress();
     }
 
     let scale = if quick {
@@ -222,7 +298,7 @@ fn main() {
     let started = std::time::Instant::now();
     let (mut specs, unknown) = default_specs(&figures, scale);
     for f in &unknown {
-        eprintln!("unknown figure '{f}'");
+        obs::warn(format!("unknown figure '{f}'"));
     }
     if !external_datasets.is_empty() {
         specs.push(external_spec(scale, &external_datasets));
@@ -250,7 +326,11 @@ fn main() {
             started.elapsed().as_secs_f64()
         );
         println!("{line}");
-        eprintln!("{line}");
+        obs::info(line);
+        if let Some(path) = &metrics_path {
+            write_metrics(path);
+        }
+        obs::flush_sinks();
         return;
     }
 
@@ -271,7 +351,11 @@ fn main() {
             )
         );
         println!("{line}");
-        eprintln!("{line}");
+        obs::info(line);
+        if let Some(path) = &metrics_path {
+            write_metrics(path);
+        }
+        obs::flush_sinks();
         return;
     }
 
@@ -321,9 +405,13 @@ fn main() {
     println!("{line}");
     // CI's parity jobs redirect stdout to /dev/null; keep the dedup and resume stats
     // visible in their logs so regressions are easy to spot.
-    eprintln!("{line}");
+    obs::info(line);
     if let Some(note) = resume_note {
         println!("{note}");
-        eprintln!("{note}");
+        obs::info(note);
     }
+    if let Some(path) = &metrics_path {
+        write_metrics(path);
+    }
+    obs::flush_sinks();
 }

@@ -14,6 +14,7 @@ use piccolo::campaign::CampaignStats;
 use piccolo::experiments::{geomean, Point};
 use piccolo::json::Json;
 use piccolo_graph::Dataset;
+use piccolo_obs as obs;
 use std::path::{Path, PathBuf};
 
 /// Loads `--external NAME=PATH` graphs (paths pre-resolved by the caller — the bench
@@ -37,6 +38,8 @@ pub fn load_externals(
             datasets.push(ds);
             continue;
         }
+        let cache_span = obs::spans_enabled()
+            .then(|| obs::span("snapshot_cache", vec![("graph", name.as_str().into())]));
         let loaded = piccolo_io::load_graph_with(path, None, snapshot_dir)
             .map_err(|e| format!("cannot load external graph '{name}': {e}"))?;
         if loaded.graph.num_vertices() == 0 {
@@ -45,13 +48,24 @@ pub fn load_externals(
                 path.display()
             ));
         }
-        eprintln!(
+        if let Some(span) = cache_span {
+            span.close(vec![("status", loaded.status.to_string().into())]);
+        }
+        obs::metrics::counter_add(
+            match loaded.status {
+                piccolo_io::SnapshotStatus::Hit => "io/snapshot_cache_hits",
+                piccolo_io::SnapshotStatus::Miss => "io/snapshot_cache_misses",
+                piccolo_io::SnapshotStatus::Direct => "io/snapshot_cache_direct",
+            },
+            1,
+        );
+        obs::info(format!(
             "external '{name}': {} ({} vertices, {} edges) snapshot cache {}",
             path.display(),
             loaded.graph.num_vertices(),
             loaded.graph.num_edges(),
             loaded.status
-        );
+        ));
         let snapshot = loaded.snapshot.clone();
         let ds = piccolo_graph::external::register(name, loaded.graph);
         if let Some(snapshot) = snapshot {
@@ -123,12 +137,17 @@ fn register_lazy_from_sidecar(name: &str, path: &Path, snapshot_dir: &Path) -> O
     if meta.vertices == 0 {
         return None; // mirror the eager path's empty-graph rejection
     }
-    eprintln!(
+    if obs::spans_enabled() {
+        obs::span("snapshot_cache", vec![("graph", name.into())])
+            .close(vec![("status", "hit (lazy)".into())]);
+    }
+    obs::metrics::counter_add("io/snapshot_cache_hits", 1);
+    obs::info(format!(
         "external '{name}': {} ({} vertices, {} edges) snapshot cache hit (lazy)",
         path.display(),
         meta.vertices,
         meta.edges,
-    );
+    ));
     let label = name.to_string();
     let source = path.to_path_buf();
     let dir = snapshot_dir.to_path_buf();
@@ -290,7 +309,10 @@ pub fn memory_stats() -> Option<MemoryStats> {
 /// regressions are visible in the artifact history. On Linux a `memory` section
 /// reports the process peak RSS / address space ([`memory_stats`], sampled at
 /// serialization time — after every figure has run), which the out-of-core CI job
-/// greps to prove a capped run stayed capped.
+/// greps to prove a capped run stayed capped. The `host` object carries the
+/// host-side per-phase wall-clock attribution from [`piccolo::phase_profile`] —
+/// like everything else host-side it flows *out* of the run only, and is never
+/// floor- or ratchet-checked.
 pub fn bench_json(
     samples: u32,
     jobs: usize,
@@ -345,6 +367,19 @@ pub fn bench_json(
             ]),
         ));
     }
+    // Host-side wall-clock attribution of the simulator's pipeline phases
+    // (`piccolo::phase_profile`, cumulative over this process). Everything in this
+    // object is a measurement of *this machine*, never of the simulated hardware,
+    // and is excluded from every ratchet and floor — see docs/observability.md.
+    let profile = piccolo::phase_profile();
+    pairs.push((
+        "host",
+        Json::obj([
+            ("scatter_ns", Json::str(profile.scatter_ns.to_string())),
+            ("apply_ns", Json::str(profile.apply_ns.to_string())),
+            ("frontier_ns", Json::str(profile.frontier_ns.to_string())),
+        ]),
+    ));
     pairs.extend([
         (
             "figures",

@@ -70,6 +70,7 @@ use crate::json::{parse, Json};
 use crate::report::FigureRows;
 use crate::sweep::{run_indexed, ExperimentSpec, GraphKey, SweepRunner, Unit, UnitResult};
 use piccolo_graph::Csr;
+use piccolo_obs as obs;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -327,6 +328,9 @@ impl GraphStore {
             let mut state = slot.state.lock().unwrap();
             if matches!(*state, SlotState::Ready(_)) {
                 *state = SlotState::Evicted;
+                if obs::spans_enabled() {
+                    obs::point("graph_evict", vec![("graph", build_spec(key).into())]);
+                }
             }
             drop(state);
             if let (piccolo_graph::Dataset::External { id }, _, _) = key {
@@ -444,6 +448,48 @@ fn execute_selected(
     }
     let per_figure_builds: usize = figure_keys.iter().map(Vec::len).sum();
 
+    // Deterministic unit-cost estimate for progress/ETA accounting only — it mirrors
+    // the scheduling key below (measure units are cheap, sims carry their graph's
+    // build cost) and never feeds any result.
+    let unit_cost = |gid: usize| -> u64 {
+        match unit_at(gid) {
+            Unit::Measure(_) => 1,
+            Unit::Sim(rc) => 1 + build_cost(rc.graph_key()),
+        }
+    };
+
+    // The campaign span roots this run's event tree. Its guard lives on the calling
+    // thread for the whole schedule (this function blocks on the pool below), so
+    // worker-thread spans attach to it through the explicit-parent API.
+    let campaign_span = obs::span(
+        "campaign",
+        vec![
+            ("figures", (specs.len() as u64).into()),
+            ("units", (selected.len() as u64).into()),
+            ("builds", (keys.len() as u64).into()),
+            (
+                "cost_total",
+                selected.iter().map(|&g| unit_cost(g)).sum::<u64>().into(),
+            ),
+        ],
+    );
+    let campaign_id = campaign_span.id();
+    if obs::spans_enabled() {
+        for (figure, spec) in specs.iter().enumerate() {
+            let in_figure = selected
+                .iter()
+                .filter(|&&g| unit_index[g].0 == figure)
+                .count() as u64;
+            if in_figure > 0 {
+                obs::point_with_parent(
+                    "figure_plan",
+                    campaign_id,
+                    vec![("figure", spec.name().into()), ("units", in_figure.into())],
+                );
+            }
+        }
+    }
+
     // The most expensive builds go first so they start (are claimed) earliest and
     // overlap the most of the remaining campaign. Stable sort: ties keep
     // first-appearance order, so the schedule stays deterministic.
@@ -470,12 +516,49 @@ fn execute_selected(
                 key,
                 armed: true,
             };
+            let build_span = obs::spans_enabled().then(|| {
+                obs::span_with_parent(
+                    "graph_build",
+                    campaign_id,
+                    vec![
+                        ("graph", build_spec(key).into()),
+                        ("cost", build_cost(key).into()),
+                    ],
+                )
+            });
             let graph = build(key);
             store.fulfill(key, graph);
             guard.armed = false;
+            if let Some(span) = build_span {
+                span.close(Vec::new());
+            }
             TaskOut::Built
         } else {
             let gid = schedule[i - n_builds];
+            let emit = obs::spans_enabled();
+            let unit_span = emit.then(|| {
+                let (figure, _) = unit_index[gid];
+                obs::span_with_parent(
+                    "unit",
+                    campaign_id,
+                    vec![
+                        ("unit", (gid as u64).into()),
+                        ("figure", specs[figure].name().into()),
+                        (
+                            "kind",
+                            match unit_at(gid) {
+                                Unit::Sim(_) => "sim",
+                                Unit::Measure(_) => "measure",
+                            }
+                            .into(),
+                        ),
+                        ("cost", unit_cost(gid).into()),
+                    ],
+                )
+            });
+            // Drain phase timings left over from earlier work on this worker thread,
+            // so the capture after the run is exactly this unit's.
+            let _ = piccolo_accel::take_thread_phase_profile();
             let result = match unit_at(gid) {
                 Unit::Sim(rc) => {
                     let key = rc.graph_key();
@@ -489,8 +572,22 @@ fn execute_selected(
                 }
                 Unit::Measure(f) => UnitResult::Points(f()),
             };
+            let host = piccolo_accel::take_thread_phase_profile();
+            if let UnitResult::Run(run) = &result {
+                record_run_metrics(run);
+                if emit {
+                    emit_phase_spans(unit_span.as_ref().and_then(obs::Span::id), run, host);
+                }
+            }
             if let Some(hook) = on_done {
                 hook(gid, &result);
+            }
+            if let Some(span) = unit_span {
+                let (figure, _) = unit_index[gid];
+                span.close(vec![
+                    ("figure", specs[figure].name().into()),
+                    ("cost", unit_cost(gid).into()),
+                ]);
             }
             TaskOut::Unit(result)
         }
@@ -532,7 +629,69 @@ fn execute_selected(
         scatter_mem_clocks,
         apply_mem_clocks,
     };
+    obs::metrics::counter_add("campaign/units_executed", selected.len() as u64);
+    obs::metrics::counter_add("campaign/sim_runs", stats.sim_runs as u64);
+    obs::metrics::counter_add("campaign/measure_units", stats.measure_units as u64);
+    obs::metrics::counter_add("campaign/graphs_built", stats.graphs_built as u64);
+    obs::metrics::counter_add("campaign/graphs_evicted", stats.graphs_evicted as u64);
+    campaign_span.close(vec![
+        ("sim_runs", (stats.sim_runs as u64).into()),
+        ("measure_units", (stats.measure_units as u64).into()),
+        ("graphs_built", (stats.graphs_built as u64).into()),
+        ("graphs_evicted", (stats.graphs_evicted as u64).into()),
+        ("builds_saved", (stats.builds_saved as u64).into()),
+    ]);
     (slots, stats)
+}
+
+/// Folds one executed run's deterministic simulator counters into the metrics
+/// registry. Exact u64 additions only, so the per-campaign aggregates are
+/// byte-identical for any `--jobs` split of the same plan.
+fn record_run_metrics(run: &piccolo_accel::RunResult) {
+    obs::metrics::counter_add("sim/dram_activations", run.mem_stats.activations);
+    obs::metrics::counter_add("sim/dram_read_bursts", run.mem_stats.read_bursts);
+    obs::metrics::counter_add("sim/dram_write_bursts", run.mem_stats.write_bursts);
+    obs::metrics::counter_add("sim/offchip_bytes", run.mem_stats.offchip_bytes);
+    obs::metrics::counter_add("sim/cache_accesses", run.cache_stats.accesses);
+    obs::metrics::counter_add("sim/cache_hits", run.cache_stats.hits);
+    obs::metrics::counter_add("sim/cache_misses", run.cache_stats.misses);
+    obs::metrics::counter_add("sim/edges_processed", run.edges_processed);
+    obs::metrics::counter_add("sim/iterations", u64::from(run.iterations));
+}
+
+/// Retrospective per-phase child spans of one completed unit: simulated DRAM
+/// clocks from the run plus host wall-clock captured by the thread-local phase
+/// profiler. Emitted after the run (each span opens and closes back-to-back;
+/// the payload rides in the fields, not in `dur_ns`).
+fn emit_phase_spans(
+    parent: Option<u64>,
+    run: &piccolo_accel::RunResult,
+    host: piccolo_accel::PhaseProfile,
+) {
+    let phases: [(&'static str, Option<u64>, Option<u64>); 4] = [
+        (
+            "scatter",
+            Some(host.scatter_ns),
+            Some(run.phases.scatter_mem_clocks),
+        ),
+        (
+            "apply",
+            Some(host.apply_ns),
+            Some(run.phases.apply_mem_clocks),
+        ),
+        ("flush", None, Some(run.phases.flush_mem_clocks)),
+        ("frontier", Some(host.frontier_ns), None),
+    ];
+    for (name, host_ns, mem_clocks) in phases {
+        let mut fields: obs::Fields = Vec::new();
+        if let Some(ns) = host_ns {
+            fields.push(("host_ns", ns.into()));
+        }
+        if let Some(clocks) = mem_clocks {
+            fields.push(("mem_clocks", clocks.into()));
+        }
+        obs::span_with_parent(name, parent, fields).close(Vec::new());
+    }
 }
 
 /// The default graph-build function: `build_shared` hands out the registry's Arc for
@@ -608,7 +767,18 @@ impl SweepRunner {
     ) -> std::io::Result<ResumeRun> {
         let plan = plan_hash(scale, specs);
         let unit_index = flatten_units(specs);
+        let replay_span = obs::span("journal_replay", Vec::new());
         let mut replay = journal::read_replay(journal_path, plan, specs, &unit_index)?;
+        replay_span.close(vec![
+            ("replayed", (replay.entries.len() as u64).into()),
+            ("corrupt", (replay.corrupt as u64).into()),
+            ("mismatched", (replay.mismatched as u64).into()),
+            ("builds", (replay.builds.len() as u64).into()),
+        ]);
+        obs::metrics::counter_add(
+            "campaign/journal_lines_replayed",
+            replay.entries.len() as u64,
+        );
         let selected: Vec<usize> = (0..unit_index.len())
             .filter(|gid| !replay.entries.contains_key(gid))
             .collect();
@@ -770,6 +940,8 @@ pub fn merge_shards(
     if docs.is_empty() {
         return Err("no shard documents to merge".to_string());
     }
+    // Closed explicitly on success; an early error return closes it via drop.
+    let merge_span = obs::span("shard_merge", vec![("docs", (docs.len() as u64).into())]);
     let expected_plan = plan_hex(plan_hash(scale, specs));
     let unit_index = flatten_units(specs);
     let mut slots: Vec<Option<UnitResult>> = unit_index.iter().map(|_| None).collect();
@@ -879,6 +1051,7 @@ pub fn merge_shards(
             slot.ok_or_else(|| format!("unit {gid} missing from every shard document"))
         })
         .collect::<Result<_, _>>()?;
+    merge_span.close(vec![("units", (unit_results.len() as u64).into())]);
     Ok(evaluate_figures(specs, &unit_results))
 }
 

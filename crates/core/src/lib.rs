@@ -50,7 +50,8 @@ pub use campaign::{
 };
 pub use experiments::{Point, Scale};
 pub use piccolo_accel::{
-    intra_jobs, set_intra_jobs, CacheKind, PhaseBreakdown, SimConfig, SystemKind, TilingPolicy,
+    intra_jobs, phase_profile, reset_phase_profile, set_intra_jobs, take_thread_phase_profile,
+    CacheKind, PhaseBreakdown, PhaseProfile, SimConfig, SystemKind, TilingPolicy,
 };
 pub use report::{area_report, AreaReport, EnergyBreakdown, FigureRows, SimReport};
 pub use sweep::{

@@ -1,10 +1,11 @@
 //! Generate, convert, inspect and validate graph files.
 //!
 //! ```text
-//! graphtool gen     <out> --vertices N --edges M [--seed S]
-//! graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]
-//! graphtool info    <file>          [--format edgelist|snap|mtx]
-//! graphtool verify  <file.pcsr|dir.pcsr.d>
+//! graphtool gen          <out> --vertices N --edges M [--seed S]
+//! graphtool convert      <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]
+//! graphtool info         <file>          [--format edgelist|snap|mtx]
+//! graphtool verify       <file.pcsr|dir.pcsr.d>
+//! graphtool events-check <events.jsonl>
 //! ```
 //!
 //! `gen` writes a deterministic uniform-random graph — a weighted TSV edge list, or a
@@ -15,8 +16,12 @@
 //! a partitioned `.pcsr.d/` directory. `info` prints vertex/edge counts and degree
 //! statistics for any supported input, plus the tile table for `.pcsr.d/`
 //! directories. `verify` fully checks a snapshot's (or every tile's and the
-//! manifest's) magic, version, checksums and structural invariants. Exit codes: 0
-//! success, 1 bad input file, 2 usage error.
+//! manifest's) magic, version, checksums and structural invariants. `events-check`
+//! validates a `piccolo-events/v1` log written by `repro --events` — checksums,
+//! schema, span balance and the unit count against the campaign plan
+//! (`docs/observability.md`). Exit codes: 0 success, 1 bad input file, 2 usage error.
+//! Diagnostics go through the `piccolo-obs` stderr sink (`--log-level quiet|error|
+//! warn|info|debug`); results stay on stdout.
 
 #![forbid(unsafe_code)]
 
@@ -25,21 +30,25 @@ use piccolo_io::{
     is_pcsr_dir, load_pcsr, load_pcsr_dir, load_text, pcsr_dir_info, save_pcsr, save_pcsr_dir,
     verify_pcsr_dir, IoError, TextFormat,
 };
+use piccolo_obs as obs;
 use std::io::Write;
 use std::path::Path;
 
 fn usage() -> ! {
-    eprintln!(
+    obs::error(
         "usage: graphtool gen <out> --vertices N --edges M [--seed S]\n       \
          graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]\n       \
          graphtool info <file> [--format edgelist|snap|mtx]\n       \
-         graphtool verify <file.pcsr|dir.pcsr.d>"
+         graphtool verify <file.pcsr|dir.pcsr.d>\n       \
+         graphtool events-check <events.jsonl>",
     );
+    obs::flush_sinks();
     std::process::exit(2);
 }
 
 fn fail(err: &IoError) -> ! {
-    eprintln!("graphtool: {err}");
+    obs::error(format!("graphtool: {err}"));
+    obs::flush_sinks();
     std::process::exit(1);
 }
 
@@ -96,6 +105,7 @@ fn write_tsv(path: &Path, g: &Csr) -> Result<(), IoError> {
 }
 
 fn main() {
+    obs::init_stderr(obs::LevelFilter::Info);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut format: Option<TextFormat> = None;
@@ -107,7 +117,7 @@ fn main() {
         match it.next().and_then(|v| v.parse::<u64>().ok()) {
             Some(n) if n > 0 => n,
             _ => {
-                eprintln!("graphtool: {name} needs a positive integer");
+                obs::error(format!("graphtool: {name} needs a positive integer"));
                 usage()
             }
         }
@@ -126,6 +136,13 @@ fn main() {
             },
             "--edges" => edges = Some(num_flag(&mut it, "--edges")),
             "--seed" => seed = num_flag(&mut it, "--seed"),
+            "--log-level" => match it.next().and_then(|v| obs::LevelFilter::parse(v)) {
+                Some(filter) => obs::init_stderr(filter),
+                None => {
+                    obs::error("graphtool: --log-level expects quiet|error|warn|info|debug");
+                    usage()
+                }
+            },
             other if other.starts_with("--") => usage(),
             other => positional.push(other),
         }
@@ -135,7 +152,7 @@ fn main() {
         ["gen", output] => {
             let output = Path::new(output);
             let (Some(vertices), Some(edges)) = (vertices, edges) else {
-                eprintln!("graphtool: gen needs --vertices and --edges");
+                obs::error("graphtool: gen needs --vertices and --edges");
                 usage()
             };
             let g = piccolo_graph::generate::uniform(vertices, edges, seed);
@@ -206,7 +223,8 @@ fn main() {
                 return;
             }
             if !is_pcsr(file) {
-                eprintln!("graphtool: verify expects a .pcsr file or a .pcsr.d directory");
+                obs::error("graphtool: verify expects a .pcsr file or a .pcsr.d directory");
+                obs::flush_sinks();
                 std::process::exit(2);
             }
             // load_pcsr checks magic, version, every section checksum, and the CSR
@@ -219,6 +237,32 @@ fn main() {
                 g.num_edges()
             );
         }
+        ["events-check", file] => {
+            // Checksums, header schema, span balance, monotone seq/t_ns, and the
+            // unit-span count against the campaign plan (`piccolo_obs::check`).
+            let report = obs::check::check_events(Path::new(file)).unwrap_or_else(|e| {
+                obs::error(format!("graphtool: cannot read {file}: {e}"));
+                obs::flush_sinks();
+                std::process::exit(1);
+            });
+            println!("{file}: {report}");
+            for err in &report.errors {
+                obs::error(format!("  {err}"));
+            }
+            if report.errors_truncated > 0 {
+                obs::error(format!(
+                    "  ... and {} more error(s)",
+                    report.errors_truncated
+                ));
+            }
+            if report.clean() {
+                println!("OK: event log is schema-valid, checksum-clean and span-balanced");
+            } else {
+                obs::flush_sinks();
+                std::process::exit(1);
+            }
+        }
         _ => usage(),
     }
+    obs::flush_sinks();
 }

@@ -2,8 +2,8 @@
 //!
 //! The campaign run journal (`piccolo::campaign::journal`) records one completed work
 //! unit per line so a killed or partially-failed campaign can resume in the time of its
-//! missing units. This module owns the *line format* — the same integrity discipline as
-//! the `.pcsr` section checksums ([`crate::hash`]), applied to a text file:
+//! missing units. The *line format* — the same integrity discipline as the `.pcsr`
+//! section checksums ([`crate::hash`]), applied to a text file:
 //!
 //! ```text
 //! <16 lowercase hex digits of FNV-1a-64 over the payload bytes> <payload>\n
@@ -14,149 +14,28 @@
 //! a torn final line from a killed process, or a flipped byte anywhere, costs exactly
 //! the entries it touches, never the whole journal. Appends are atomic per line at the
 //! OS level for the short lines this pipeline writes (`O_APPEND` + one `write`).
+//!
+//! The implementation lives in [`piccolo_obs::linecodec`] — the same codec also frames
+//! the `piccolo-events/v1` observability stream, and `piccolo-obs` sits below this
+//! crate in the dependency graph (so `graphtool` can validate event logs). This module
+//! re-exports it unchanged: the on-disk journal format is byte-for-byte what it has
+//! always been, and `piccolo_io::journal::*` remains the canonical path for journal
+//! callers. A parity test (`tests/obs_compat.rs`) pins the shared codec's checksum to
+//! [`crate::hash::fnv64`].
 
-use crate::hash::fnv64;
-use std::io::{BufRead, Write};
-use std::path::Path;
-
-/// Width of the hex checksum prefix (FNV-1a 64 in lowercase hex).
-const CHECKSUM_HEX: usize = 16;
-
-/// Encodes one journal line (without trailing newline): checksum prefix + payload.
-///
-/// # Panics
-///
-/// Panics if `payload` contains a newline — a journal entry is one line by contract
-/// (the campaign layer writes compact JSON, which never contains raw newlines).
-pub fn encode_line(payload: &str) -> String {
-    assert!(
-        !payload.contains('\n') && !payload.contains('\r'),
-        "journal payloads must be single-line"
-    );
-    format!("{:016x} {payload}", fnv64(payload.as_bytes()))
-}
-
-/// Decodes one journal line: returns the payload if the checksum verifies, `None` for
-/// anything malformed (wrong prefix length, bad hex, checksum mismatch, missing
-/// separator). Trailing `\n`/`\r\n` is tolerated.
-pub fn decode_line(line: &str) -> Option<&str> {
-    let line = line.strip_suffix('\n').unwrap_or(line);
-    let line = line.strip_suffix('\r').unwrap_or(line);
-    if line.len() < CHECKSUM_HEX + 1 || line.as_bytes()[CHECKSUM_HEX] != b' ' {
-        return None;
-    }
-    let (hex, rest) = line.split_at(CHECKSUM_HEX);
-    let payload = &rest[1..];
-    // The encoder emits lowercase hex only; reject uppercase so a case-flipped
-    // checksum byte (a single-bit flip on an ASCII letter) cannot still verify.
-    if !hex
-        .bytes()
-        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
-    {
-        return None;
-    }
-    let stored = u64::from_str_radix(hex, 16).ok()?;
-    (stored == fnv64(payload.as_bytes())).then_some(payload)
-}
-
-/// Appends one encoded line (payload + checksum + `\n`) to `out` in a single write.
-pub fn append_line(out: &mut impl Write, payload: &str) -> std::io::Result<()> {
-    let mut line = encode_line(payload);
-    line.push('\n');
-    out.write_all(line.as_bytes())
-}
-
-/// Result of scanning a journal file: the payloads whose checksums verified, in file
-/// order, plus the number of lines that were dropped as corrupt.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct JournalLines {
-    /// Verified payloads, in file order.
-    pub payloads: Vec<String>,
-    /// Lines whose checksum (or framing) did not verify — ignored, never fatal.
-    pub corrupt: usize,
-}
-
-/// Reads a journal file, verifying every line's checksum. Corrupt lines — a torn
-/// final line from a killed writer, a checksum mismatch, or bytes that are not valid
-/// UTF-8 (a flipped high bit must cost one line, never the whole journal) — are
-/// counted and skipped; empty lines are ignored outright. I/O errors (other than the
-/// caller-handled missing file) propagate.
-pub fn read_lines(path: &Path) -> std::io::Result<JournalLines> {
-    let file = std::fs::File::open(path)?;
-    let mut reader = std::io::BufReader::new(file);
-    let mut out = JournalLines::default();
-    let mut raw = Vec::new();
-    loop {
-        raw.clear();
-        if reader.read_until(b'\n', &mut raw)? == 0 {
-            return Ok(out);
-        }
-        let Ok(line) = std::str::from_utf8(&raw) else {
-            out.corrupt += 1;
-            continue;
-        };
-        let line = line.trim_end_matches(['\n', '\r']);
-        if line.is_empty() {
-            continue;
-        }
-        match decode_line(line) {
-            Some(payload) => out.payloads.push(payload.to_string()),
-            None => out.corrupt += 1,
-        }
-    }
-}
+pub use piccolo_obs::linecodec::{append_line, decode_line, encode_line, read_lines, JournalLines};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The full codec behavior (roundtrip, corrupt-line tolerance, multiline
+    // rejection) is tested where the implementation lives, in
+    // `piccolo_obs::linecodec`; here we pin the delegation itself.
     #[test]
-    fn roundtrip_and_reject() {
+    fn journal_lines_still_roundtrip_through_the_reexported_codec() {
         let line = encode_line(r#"{"unit":3}"#);
         assert_eq!(decode_line(&line), Some(r#"{"unit":3}"#));
-        assert_eq!(decode_line(&format!("{line}\n")), Some(r#"{"unit":3}"#));
-        // A flipped checksum nibble, a flipped payload byte, and bad framing all fail.
-        let mut bad = line.clone().into_bytes();
-        bad[0] = if bad[0] == b'0' { b'1' } else { b'0' };
-        assert_eq!(decode_line(std::str::from_utf8(&bad).unwrap()), None);
-        let mut bad = line.into_bytes();
-        *bad.last_mut().unwrap() ^= 1;
-        assert_eq!(decode_line(std::str::from_utf8(&bad).unwrap()), None);
         assert_eq!(decode_line("not a journal line"), None);
-        assert_eq!(decode_line(""), None);
-        assert_eq!(decode_line("0123456789abcdef"), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "single-line")]
-    fn multiline_payloads_are_rejected() {
-        encode_line("a\nb");
-    }
-
-    #[test]
-    fn read_lines_skips_corrupt_entries() {
-        let dir = std::env::temp_dir().join(format!("piccolo-journal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("j.log");
-        {
-            let mut f = std::fs::File::create(&path).unwrap();
-            append_line(&mut f, "first").unwrap();
-            f.write_all(b"garbage line\n").unwrap();
-            append_line(&mut f, "second").unwrap();
-            // A high-bit flip produces invalid UTF-8: it must cost this one line,
-            // never abort the scan (lines after it still decode).
-            let mut flipped = encode_line("bitrot").into_bytes();
-            flipped[20] |= 0x80;
-            flipped.push(b'\n');
-            f.write_all(&flipped).unwrap();
-            append_line(&mut f, "third").unwrap();
-            // A torn final line, as left behind by a killed process.
-            f.write_all(encode_line("torn").as_bytes().split_at(8).0)
-                .unwrap();
-        }
-        let lines = read_lines(&path).unwrap();
-        assert_eq!(lines.payloads, ["first", "second", "third"]);
-        assert_eq!(lines.corrupt, 3);
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -51,13 +51,11 @@ pub const RESULT_CRATES: &[&str] = &[
 ];
 
 /// Files allowed to call `Instant::now` / `SystemTime::now`: the phase
-/// wall-profiler in the pipeline (its numbers go to stderr/BENCH.json, never
-/// results.json) and everything in the bench harness crate (checked by crate
-/// name, not listed here).
-pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &[
-    "crates/accel/src/pipeline.rs",
-    "crates/accel/src/parallel.rs",
-];
+/// wall-profiler in the pipeline (its numbers flow out through piccolo-obs,
+/// never into results.json). The bench harness crate and piccolo-obs (which
+/// owns event timestamps) are exempted wholesale by crate name, not listed
+/// here.
+pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &["crates/accel/src/pipeline.rs"];
 
 /// Files allowed to format floats: the lossless shortest-round-trip JSON
 /// writer and the unit-result codec built on it.
@@ -93,9 +91,26 @@ into an output document, a timing-dependent branch, or an ordering decision
 makes two identical runs differ. Simulated time in this workspace is derived
 from DRAM clocks (RunResult::elapsed_ns = accel_cycles / clock_ghz), so
 library code never needs a real clock. The only legitimate consumers are the
-bench harness crate (wall time IS its product) and the pipeline phase
-wall-profiler (crates/accel/src/pipeline.rs + parallel.rs, whose numbers go
-to stderr and BENCH.json, never results.json). Everything else is an error.",
+bench harness crate (wall time IS its product), piccolo-obs (event
+timestamps and phase durations are its product, and they only ever flow OUT
+into obs artifacts), and the pipeline phase wall-profiler
+(crates/accel/src/pipeline.rs, whose numbers reach stderr/events/BENCH.json,
+never results.json). Everything else is an error.",
+    },
+    RuleInfo {
+        name: "no-bare-eprintln",
+        summary: "driver crates must log through the piccolo-obs stderr sink",
+        explain: "\
+The repro binary, the bench harness, and the graphtool CLI route their
+diagnostics through the piccolo-obs stderr sink, so `--log-level quiet`
+really silences them and every message carries a level. A bare `eprintln!`
+(or `eprint!`) bypasses the sink: it ignores the level filter, garbles the
+`--progress` renderer's line rewriting, and is invisible to any attached
+event sink. This rule forbids the two macros in the driver surfaces —
+piccolo-bench outside tests/ and piccolo-io's src/bin/ CLIs — where
+obs::error/warn/info/debug are the drop-in replacements. Library crates are
+out of scope (they do not print), as is piccolo-obs itself (the stderr sink
+is the one legitimate writer).",
     },
     RuleInfo {
         name: "float-format-via-codec",
@@ -170,6 +185,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     no_hash_collections(file, &mut out);
     no_wall_clock(file, &mut out);
+    no_bare_eprintln(file, &mut out);
     float_format_via_codec(file, &mut out);
     safety_comment(file, &mut out);
     panic_policy(file, &mut out);
@@ -288,6 +304,7 @@ fn no_hash_collections(file: &SourceFile, out: &mut Vec<Finding>) {
 
 fn no_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.crate_name == "piccolo-bench"
+        || file.crate_name == "piccolo-obs"
         || WALL_CLOCK_ALLOWED_FILES.contains(&file.rel_path.as_str())
         || file.role == FileRole::TestOrBench
     {
@@ -311,6 +328,41 @@ fn no_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
                 format!(
                     "{name}::now outside the bench harness / phase profiler; \
                      derive time from simulated clocks"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-bare-eprintln
+// ---------------------------------------------------------------------------
+
+fn no_bare_eprintln(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Driver surfaces only: the bench harness / repro binary (everything in
+    // piccolo-bench outside tests/) and piccolo-io's src/bin CLIs. piccolo-obs
+    // itself — the stderr sink — is the one legitimate eprintln writer.
+    let in_scope = match file.crate_name.as_str() {
+        "piccolo-bench" => !file.rel_path.contains("/tests/"),
+        "piccolo-io" => file.role == (FileRole::Library { is_bin: true }),
+        _ => false,
+    };
+    if !in_scope {
+        return;
+    }
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.start) {
+            continue;
+        }
+        let name = t.text(&file.text);
+        if (name == "eprintln" || name == "eprint") && punct_is(file, i + 1, "!") {
+            out.push(finding(
+                "no-bare-eprintln",
+                file,
+                t,
+                format!(
+                    "{name}! in a driver crate bypasses the piccolo-obs stderr \
+                     sink; use obs::error/warn/info/debug so --log-level applies"
                 ),
             ));
         }

@@ -29,6 +29,8 @@ fn violations_tree_trips_every_rule_at_the_exact_location() {
         .map(|f| (f.rule, f.rel_path.as_str(), f.line))
         .collect();
     let expected: Vec<(&str, &str, u32)> = vec![
+        ("no-wall-clock", "crates/accel/src/parallel.rs", 4),
+        ("no-bare-eprintln", "crates/bench/src/lib.rs", 4),
         ("unknown-suppression", "crates/cache/src/audit.rs", 4),
         ("missing-suppression-reason", "crates/cache/src/audit.rs", 5),
         ("no-wall-clock", "crates/cache/src/lib.rs", 4),

@@ -1,0 +1,6 @@
+//! Clean fixture: piccolo-obs owns event timestamps, so wall-clock reads are
+//! allowed crate-wide (they only ever flow OUT into obs artifacts).
+
+pub fn now_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+//! Violation fixture: parallel.rs is no longer on the wall-clock allowlist.
+
+pub fn profile() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+//! Violation fixture: a driver-crate eprintln bypassing the obs stderr sink.
+
+pub fn report(msg: &str) {
+    eprintln!("bench: {msg}");
+}
