@@ -38,20 +38,28 @@
 //!
 //! Diagnostics go through the `piccolo-obs` stderr sink; `--log-level quiet` (or
 //! `error`/`warn`/`info`/`debug`) controls them (`docs/observability.md`). Tables and
-//! check verdicts stay on stdout.
+//! check verdicts stay on stdout. `--events PATH` (optionally capped with
+//! `--events-max-bytes N`) streams the harness's span tree — a `bench` root,
+//! one `bench_figure` span per timing loop, `bench_intra` for the intra-jobs
+//! comparison, plus the campaign/unit spans inside each sample — as the same
+//! checksummed `piccolo-events/v1` log `repro` writes; `graphtool events-check`
+//! validates it. Common flags are the shared driver surface
+//! ([`piccolo_bench::cli`]); only `--json`/`--check`/`--allow-regression`/
+//! `--update-ratchet` are the harness's own.
 
 #![forbid(unsafe_code)]
 
 use piccolo::experiments::{self, Scale};
 use piccolo::sweep::{effective_unit_jobs, ExperimentSpec, SweepRunner};
 use piccolo_algo::Algorithm;
+use piccolo_bench::cli::{CliParser, CommonOpts, FlagSet};
 use piccolo_bench::{
     bench_json, check_floors, check_trajectory, speedup_metrics, updated_trajectory, FigureBench,
     IntraBench,
 };
 use piccolo_graph::Dataset;
 use piccolo_obs as obs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 fn tiny() -> Scale {
@@ -101,10 +109,30 @@ fn time_runs(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
     (min, total / samples.max(1))
 }
 
-fn fail(msg: &str) -> ! {
-    obs::error(format!("bench: {msg}"));
-    obs::flush_sinks();
-    std::process::exit(2);
+/// The common flags the harness accepts — the shared driver surface minus the
+/// output/progress knobs it replaces with `--json`.
+fn flags() -> FlagSet {
+    FlagSet {
+        scale: true,
+        jobs: true,
+        intra_jobs: true,
+        external: true,
+        snapshot_dir: true,
+        events: true,
+        log_level: true,
+        ..FlagSet::default()
+    }
+}
+
+fn parser() -> CliParser {
+    CliParser::new(
+        "bench",
+        format!(
+            "cargo bench -- [filter ...] {} [--json PATH] [--check PATH] \
+             [--allow-regression] [--update-ratchet]",
+            flags().usage_fragment()
+        ),
+    )
 }
 
 /// Resolves an input path against the cwd, the bench crate and the workspace root, in
@@ -127,84 +155,51 @@ fn resolve_input(path: &str) -> std::path::PathBuf {
 
 fn main() {
     obs::init_stderr(obs::LevelFilter::Info);
+    let cli = parser();
+    let fail = |msg: &str| -> ! { cli.fail(msg) };
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = CommonOpts::new(flags());
+    opts.jobs = 1; // timing defaults to the sequential reference path
     let mut filter: Vec<String> = Vec::new();
-    let mut quick = false;
-    let mut jobs: usize = 1; // timing defaults to the sequential reference path
-    let mut intra_jobs: usize = 1; // threads inside each simulation; 0 = all cores
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut allow_regression = false;
     let mut update_ratchet = false;
-    let mut externals: Vec<(String, String)> = Vec::new();
-    let mut snapshot_dir: Option<PathBuf> = None;
 
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        if opts.accept(arg, &mut it, &cli) {
+            continue;
+        }
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--external" => match it.next().map(|v| v.split_once('=')) {
-                Some(Some((name, path))) if !name.is_empty() && !path.is_empty() => {
-                    if externals.iter().any(|(n, _)| n == name) {
-                        fail(&format!("duplicate external name '{name}'"));
-                    }
-                    externals.push((name.to_string(), path.to_string()));
-                }
-                Some(_) => fail("--external expects NAME=PATH"),
-                None => fail("--external needs a NAME=PATH value"),
-            },
-            "--snapshot-dir" => match it.next() {
-                Some(v) => snapshot_dir = Some(PathBuf::from(v)),
-                None => fail("--snapshot-dir needs a path"),
-            },
-            "--jobs" => match it.next() {
-                Some(v) => {
-                    jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
-                }
-                None => fail("--jobs needs a value"),
-            },
-            "--intra-jobs" => match it.next() {
-                Some(v) => {
-                    intra_jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")));
-                }
-                None => fail("--intra-jobs needs a value"),
-            },
-            "--log-level" => match it.next() {
-                Some(v) => match obs::LevelFilter::parse(v) {
-                    Some(filter) => obs::init_stderr(filter),
-                    None => fail(&format!(
-                        "invalid --log-level '{v}' (quiet|error|warn|info|debug)"
-                    )),
-                },
-                None => fail("--log-level needs a value"),
-            },
             "--allow-regression" => allow_regression = true,
             "--update-ratchet" => update_ratchet = true,
-            "--json" => match it.next() {
-                Some(v) => json_path = Some(v.clone()),
-                None => fail("--json needs a path"),
-            },
-            "--check" => match it.next() {
-                Some(v) => check_path = Some(v.clone()),
-                None => fail("--check needs a path"),
-            },
+            "--json" => json_path = Some(cli.value("--json", &mut it).to_string()),
+            "--check" => check_path = Some(cli.value("--check", &mut it).to_string()),
             // `cargo bench` passes --bench through to harness = false benches.
             "--bench" => {}
-            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
+            other if other.starts_with("--") => cli.unknown_flag(other),
             other => filter.push(other.to_string()),
         }
     }
 
+    // The events stream (`--events`, optionally rotation-capped): the same
+    // checksummed `piccolo-events/v1` log as `repro`, so a coordinator-driven
+    // bench run streams live per-worker spans. Attached before the warmup
+    // campaign so the log covers every timing loop.
+    opts.attach_sinks(&cli);
+    let (quick, externals, snapshot_dir) = (
+        opts.quick,
+        opts.externals.clone(),
+        opts.snapshot_dir.clone(),
+    );
+
     let samples = if quick { 2 } else { 5 };
     // Split the thread budget between unit-level workers and each simulation's
     // interior; every split yields byte-identical rows (docs/parallelism.md).
-    piccolo::set_intra_jobs(intra_jobs);
+    piccolo::set_intra_jobs(opts.intra_jobs);
     let intra = piccolo::intra_jobs();
-    let runner = SweepRunner::new(effective_unit_jobs(jobs, intra));
+    let runner = SweepRunner::new(effective_unit_jobs(opts.jobs, intra));
     let mut benched: Vec<FigureBench> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
@@ -244,6 +239,19 @@ fn main() {
         .filter(|spec| filter.is_empty() || filter.iter().any(|p| spec.name().contains(p.as_str())))
         .collect();
 
+    // The harness's own span tree (visible with --events): one `bench` root over
+    // the whole run, one `bench_figure` span per figure's timing loop. The campaign
+    // and unit spans inside stay balanced per sample, so `graphtool events-check`
+    // passes on a bench-produced log exactly as on a repro-produced one.
+    let bench_span = obs::span(
+        "bench",
+        vec![
+            ("samples", (samples as u64).into()),
+            ("jobs", (runner.jobs() as u64).into()),
+            ("intra_jobs", (intra as u64).into()),
+        ],
+    );
+
     // One campaign over every selected figure doubles as warmup and row capture for the
     // speedup metrics: each distinct graph is built exactly once across all figures.
     let campaign = runner.run_campaign(&specs);
@@ -252,9 +260,18 @@ fn main() {
     for (spec, figure) in specs.iter().zip(&campaign.figures) {
         // Timed samples still run each figure standalone (a campaign of one), so
         // per-figure wall-clock stays comparable across history.
+        let figure_span = obs::span_with_parent(
+            "bench_figure",
+            bench_span.id(),
+            vec![("figure", spec.name().into())],
+        );
         let (min, mean) = time_runs(samples, || {
             runner.run(spec);
         });
+        figure_span.close(vec![
+            ("min_ns", (min.as_nanos() as u64).into()),
+            ("mean_ns", (mean.as_nanos() as u64).into()),
+        ]);
         println!(
             "{:<28} {:>10.3}ms {:>10.3}ms",
             spec.name(),
@@ -281,6 +298,11 @@ fn main() {
     // and then split across the intra workers — the wall-clock speedup the two-level
     // thread model buys on a single unit (recorded in BENCH.json, never gated on).
     let intra_bench = if intra > 1 {
+        let intra_span = obs::span_with_parent(
+            "bench_intra",
+            bench_span.id(),
+            vec![("jobs", (intra as u64).into())],
+        );
         let g = Dataset::Sinaweibo.build(9, 7);
         let sim = piccolo::Simulation::new(piccolo::SystemKind::Piccolo)
             .configure(|c| c.with_max_iterations(3));
@@ -305,10 +327,15 @@ fn main() {
             bench.parallel_ns as f64 / 1e6,
             bench.speedup()
         );
+        intra_span.close(vec![
+            ("serial_ns", bench.serial_ns.into()),
+            ("parallel_ns", bench.parallel_ns.into()),
+        ]);
         Some(bench)
     } else {
         None
     };
+    bench_span.close(vec![("figures", (benched.len() as u64).into())]);
 
     if !metrics.is_empty() {
         println!();

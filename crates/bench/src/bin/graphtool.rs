@@ -21,10 +21,12 @@
 //! schema, span balance and the unit count against the campaign plan
 //! (`docs/observability.md`). Exit codes: 0 success, 1 bad input file, 2 usage error.
 //! Diagnostics go through the `piccolo-obs` stderr sink (`--log-level quiet|error|
-//! warn|info|debug`); results stay on stdout.
+//! warn|info|debug`); results stay on stdout. Usage/unknown-flag errors follow the
+//! shared driver surface ([`piccolo_bench::cli`]), uniform across all binaries.
 
 #![forbid(unsafe_code)]
 
+use piccolo_bench::cli::{CliParser, CommonOpts, FlagSet};
 use piccolo_graph::Csr;
 use piccolo_io::{
     is_pcsr_dir, load_pcsr, load_pcsr_dir, load_text, pcsr_dir_info, save_pcsr, save_pcsr_dir,
@@ -34,16 +36,23 @@ use piccolo_obs as obs;
 use std::io::Write;
 use std::path::Path;
 
-fn usage() -> ! {
-    obs::error(
-        "usage: graphtool gen <out> --vertices N --edges M [--seed S]\n       \
-         graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]\n       \
-         graphtool info <file> [--format edgelist|snap|mtx]\n       \
-         graphtool verify <file.pcsr|dir.pcsr.d>\n       \
-         graphtool events-check <events.jsonl>",
-    );
-    obs::flush_sinks();
-    std::process::exit(2);
+fn parser() -> CliParser {
+    CliParser::new(
+        "graphtool",
+        format!(
+            "graphtool gen <out> --vertices N --edges M [--seed S]\n       \
+             graphtool convert <in> <out.pcsr|out.pcsr.d> [--format edgelist|snap|mtx] [--partition N]\n       \
+             graphtool info <file> [--format edgelist|snap|mtx]\n       \
+             graphtool verify <file.pcsr|dir.pcsr.d>\n       \
+             graphtool events-check <events.jsonl>\n       \
+             common: {}",
+            FlagSet {
+                log_level: true,
+                ..FlagSet::default()
+            }
+            .usage_fragment()
+        ),
+    )
 }
 
 fn fail(err: &IoError) -> ! {
@@ -106,44 +115,46 @@ fn write_tsv(path: &Path, g: &Csr) -> Result<(), IoError> {
 
 fn main() {
     obs::init_stderr(obs::LevelFilter::Info);
+    let cli = parser();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = CommonOpts::new(FlagSet {
+        log_level: true,
+        ..FlagSet::default()
+    });
     let mut positional: Vec<&str> = Vec::new();
     let mut format: Option<TextFormat> = None;
     let mut partition: Option<usize> = None;
     let mut vertices: Option<u32> = None;
     let mut edges: Option<u64> = None;
     let mut seed: u64 = 1;
-    fn num_flag(it: &mut std::slice::Iter<'_, String>, name: &str) -> u64 {
+    fn num_flag(
+        it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+        name: &str,
+        cli: &CliParser,
+    ) -> u64 {
         match it.next().and_then(|v| v.parse::<u64>().ok()) {
             Some(n) if n > 0 => n,
-            _ => {
-                obs::error(format!("graphtool: {name} needs a positive integer"));
-                usage()
-            }
+            _ => cli.fail(&format!("{name} needs a positive integer")),
         }
     }
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        if opts.accept(arg, &mut it, &cli) {
+            continue;
+        }
         match arg.as_str() {
             "--format" => match it.next().map(|v| TextFormat::parse_name(v)) {
                 Some(Some(f)) => format = Some(f),
-                _ => usage(),
+                _ => cli.fail("--format expects edgelist|snap|mtx"),
             },
-            "--partition" => partition = Some(num_flag(&mut it, "--partition") as usize),
-            "--vertices" => match u32::try_from(num_flag(&mut it, "--vertices")) {
+            "--partition" => partition = Some(num_flag(&mut it, "--partition", &cli) as usize),
+            "--vertices" => match u32::try_from(num_flag(&mut it, "--vertices", &cli)) {
                 Ok(v) => vertices = Some(v),
-                Err(_) => usage(),
+                Err(_) => cli.fail("--vertices value does not fit in u32"),
             },
-            "--edges" => edges = Some(num_flag(&mut it, "--edges")),
-            "--seed" => seed = num_flag(&mut it, "--seed"),
-            "--log-level" => match it.next().and_then(|v| obs::LevelFilter::parse(v)) {
-                Some(filter) => obs::init_stderr(filter),
-                None => {
-                    obs::error("graphtool: --log-level expects quiet|error|warn|info|debug");
-                    usage()
-                }
-            },
-            other if other.starts_with("--") => usage(),
+            "--edges" => edges = Some(num_flag(&mut it, "--edges", &cli)),
+            "--seed" => seed = num_flag(&mut it, "--seed", &cli),
+            other if other.starts_with("--") => cli.unknown_flag(other),
             other => positional.push(other),
         }
     }
@@ -152,8 +163,7 @@ fn main() {
         ["gen", output] => {
             let output = Path::new(output);
             let (Some(vertices), Some(edges)) = (vertices, edges) else {
-                obs::error("graphtool: gen needs --vertices and --edges");
-                usage()
+                cli.fail("gen needs --vertices and --edges")
             };
             let g = piccolo_graph::generate::uniform(vertices, edges, seed);
             if is_pcsr(output) {
@@ -223,9 +233,7 @@ fn main() {
                 return;
             }
             if !is_pcsr(file) {
-                obs::error("graphtool: verify expects a .pcsr file or a .pcsr.d directory");
-                obs::flush_sinks();
-                std::process::exit(2);
+                cli.fail("verify expects a .pcsr file or a .pcsr.d directory");
             }
             // load_pcsr checks magic, version, every section checksum, and the CSR
             // structural invariants (monotone offsets, in-range columns).
@@ -262,7 +270,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        _ => usage(),
+        _ => cli.fail("expected one subcommand: gen|convert|info|verify|events-check"),
     }
     obs::flush_sinks();
 }

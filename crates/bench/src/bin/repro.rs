@@ -2,11 +2,13 @@
 //!
 //! Usage: `repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N]
 //! [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR]
-//! [--shard I/N | --merge SHARD.json... | --resume JOURNAL]
-//! [--events PATH] [--metrics PATH] [--progress] [--log-level LEVEL]`
-//! where `figure` is one of `fig03 fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! fig18 fig19a fig19b fig20a fig20b table2 area` or `all` (default when no
-//! `--external` is given).
+//! [--shard I/N] [--resume JOURNAL] [--merge SHARD.json...]
+//! [--events PATH] [--events-max-bytes N] [--metrics PATH] [--progress]
+//! [--log-level LEVEL]` where `figure` is one of `fig03 fig09 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19a fig19b fig20a fig20b table2 area`
+//! or `all` (default when no `--external` is given). The common flags are the
+//! shared driver surface ([`piccolo_bench::cli`]); only shard/merge/resume are
+//! repro's own.
 //!
 //! All requested figures run as **one campaign** (`piccolo::campaign`): their grids are
 //! flattened into a single global work queue, `--jobs N` shards it across `N` worker
@@ -31,6 +33,12 @@
 //! * `--resume JOURNAL` journals one checksummed line per completed unit and, on
 //!   re-invocation, replays verified entries instead of re-running them — a killed
 //!   campaign finishes in the time of its missing units, with identical bytes.
+//! * `--shard I/N --resume JOURNAL` **composes**: journal entries carry global unit
+//!   indices, so the shard projection replays its journaled slots and executes only
+//!   the rest. A killed shard re-invocation, or several shards sharing one journal,
+//!   merge to the same bytes either way — the same at-least-once substrate the
+//!   `piccolo-serve` coordinator's work leases run on. Only `--merge` is exclusive
+//!   (it recombines other runs' outputs instead of executing anything).
 //!
 //! `--external NAME=PATH` (repeatable) loads a real graph — plain edge list, SNAP TSV,
 //! MatrixMarket or an existing `.pcsr` snapshot — through the `piccolo-io` snapshot
@@ -57,22 +65,22 @@
 #![forbid(unsafe_code)]
 
 use piccolo::campaign::{merge_shards, CampaignStats, Shard};
-use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
+use piccolo::experiments::Scale;
 use piccolo::report::{results_json, FigureRows};
 use piccolo::sweep::{effective_unit_jobs, SweepRunner};
+use piccolo_bench::cli::{build_campaign, CliParser, CommonOpts, FlagSet};
 use piccolo_obs as obs;
 use std::path::{Path, PathBuf};
 
-fn fail(msg: &str) -> ! {
-    obs::error(format!("repro: {msg}"));
-    obs::error(
-        "usage: repro [figure ...] [--quick|--full] [--jobs N] [--intra-jobs N] \
-         [--out results.json] [--external NAME=PATH ...] [--snapshot-dir DIR] \
-         [--shard I/N | --merge SHARD.json... | --resume JOURNAL] \
-         [--events PATH] [--metrics PATH] [--progress] [--log-level LEVEL]",
-    );
-    obs::flush_sinks();
-    std::process::exit(2);
+fn parser() -> CliParser {
+    CliParser::new(
+        "repro",
+        format!(
+            "repro [figure ...] {} \
+             [--shard I/N] [--resume JOURNAL] [--merge SHARD.json...]",
+            FlagSet::all().usage_fragment()
+        ),
+    )
 }
 
 /// Prints figure rows and the closing summary table.
@@ -141,70 +149,28 @@ fn main() {
     // errors); --log-level re-applies the filter once parsed.
     obs::init_stderr(obs::LevelFilter::Info);
     obs::metrics::reset_metrics();
+    let cli = parser();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut figures: Vec<String> = Vec::new();
-    let mut quick = false;
-    let mut jobs: usize = 0; // 0 = all cores
-    let mut intra_jobs: usize = 1; // threads inside each simulation; 0 = all cores
-    let mut out_path: Option<String> = None;
-    let mut externals: Vec<(String, String)> = Vec::new();
-    let mut snapshot_dir: Option<PathBuf> = None;
+    let mut opts = CommonOpts::new(FlagSet::all());
     let mut shard: Option<Shard> = None;
     let mut merge_paths: Vec<String> = Vec::new();
     let mut resume_path: Option<PathBuf> = None;
-    let mut events_path: Option<PathBuf> = None;
-    let mut metrics_path: Option<PathBuf> = None;
-    let mut progress = false;
 
-    // Space-separated flag values only (`--jobs 4`), matching the bench harness.
+    // Space-separated flag values only (`--jobs 4`); the shared surface is
+    // piccolo_bench::cli, only the shard/merge/resume modes are repro's own.
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        if opts.accept(arg, &mut it, &cli) {
+            continue;
+        }
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--jobs" => match it.next() {
-                Some(v) => {
-                    jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
+            "--shard" => {
+                let v = cli.value("--shard", &mut it);
+                if shard.is_some() {
+                    cli.fail("--shard given twice");
                 }
-                None => fail("--jobs needs a value"),
-            },
-            "--intra-jobs" => match it.next() {
-                Some(v) => {
-                    intra_jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --intra-jobs value '{v}'")));
-                }
-                None => fail("--intra-jobs needs a value"),
-            },
-            "--out" => match it.next() {
-                Some(v) => out_path = Some(v.clone()),
-                None => fail("--out needs a path"),
-            },
-            "--external" => match it.next().map(|v| v.split_once('=')) {
-                Some(Some((name, path))) if !name.is_empty() && !path.is_empty() => {
-                    if externals.iter().any(|(n, _)| n == name) {
-                        fail(&format!("duplicate external name '{name}'"));
-                    }
-                    externals.push((name.to_string(), path.to_string()));
-                }
-                Some(_) => fail("--external expects NAME=PATH"),
-                None => fail("--external needs a NAME=PATH value"),
-            },
-            "--snapshot-dir" => match it.next() {
-                Some(v) => snapshot_dir = Some(PathBuf::from(v)),
-                None => fail("--snapshot-dir needs a path"),
-            },
-            "--shard" => match it.next() {
-                Some(v) => {
-                    if shard.is_some() {
-                        fail("--shard given twice");
-                    }
-                    shard = Some(Shard::parse(v).unwrap_or_else(|e| fail(&e)));
-                }
-                None => fail("--shard needs an I/N value"),
-            },
+                shard = Some(Shard::parse(v).unwrap_or_else(|e| cli.fail(&e)));
+            }
             "--merge" => {
                 // Greedy: every following token up to the next flag is a shard file.
                 while let Some(v) = it.peek() {
@@ -214,95 +180,40 @@ fn main() {
                     merge_paths.push(it.next().unwrap().clone());
                 }
                 if merge_paths.is_empty() {
-                    fail("--merge needs at least one shard file");
+                    cli.fail("--merge needs at least one shard file");
                 }
             }
-            "--resume" => match it.next() {
-                Some(v) => resume_path = Some(PathBuf::from(v)),
-                None => fail("--resume needs a journal path"),
-            },
-            "--events" => match it.next() {
-                Some(v) => events_path = Some(PathBuf::from(v)),
-                None => fail("--events needs a path"),
-            },
-            "--metrics" => match it.next() {
-                Some(v) => metrics_path = Some(PathBuf::from(v)),
-                None => fail("--metrics needs a path"),
-            },
-            "--progress" => progress = true,
-            "--log-level" => match it.next() {
-                Some(v) => match obs::LevelFilter::parse(v) {
-                    Some(filter) => obs::init_stderr(filter),
-                    None => fail(&format!(
-                        "invalid --log-level '{v}' (quiet|error|warn|info|debug)"
-                    )),
-                },
-                None => fail("--log-level needs a value"),
-            },
-            other if other.starts_with("--") => fail(&format!("unknown flag '{other}'")),
-            other => figures.push(other.to_string()),
+            "--resume" => resume_path = Some(PathBuf::from(cli.value("--resume", &mut it))),
+            other if other.starts_with("--") => cli.unknown_flag(other),
+            other => opts.figures.push(other.to_string()),
         }
     }
 
-    let modes = [
-        shard.is_some(),
-        !merge_paths.is_empty(),
-        resume_path.is_some(),
-    ];
-    if modes.into_iter().filter(|&m| m).count() > 1 {
-        fail("--shard, --merge and --resume are mutually exclusive");
+    // --merge recombines other runs' outputs; it cannot also execute a shard or
+    // replay a journal. --shard and --resume compose: the journal's global unit
+    // indices are shard-agnostic, so a shard projection simply skips replayed slots.
+    if !merge_paths.is_empty() && (shard.is_some() || resume_path.is_some()) {
+        cli.fail("--merge is exclusive with --shard and --resume");
     }
 
     // Observability sinks. Attached before any campaign work so the event log sees
     // the whole run; with --events and no explicit --metrics, the aggregate registry
     // still lands beside the run as metrics.json.
-    if let Some(path) = &events_path {
-        if let Err(e) = obs::add_events_file(path) {
-            fail(&format!(
-                "cannot create events file {}: {e}",
-                path.display()
-            ));
-        }
-        if metrics_path.is_none() {
-            metrics_path = Some(PathBuf::from("metrics.json"));
-        }
-    }
-    if progress {
-        obs::add_progress();
-    }
-
-    let scale = if quick {
-        Scale::quick()
-    } else {
-        Scale::default_repro()
-    };
-    // With no figure arguments the default is every figure — unless externals were
-    // given, in which case the default shrinks to just the external figure.
-    if figures.iter().any(|f| f == "all") || (figures.is_empty() && externals.is_empty()) {
-        figures = FIGURES.iter().map(|s| s.to_string()).collect();
-    }
-
-    let snapshot_dir = snapshot_dir.unwrap_or_else(piccolo_io::default_snapshot_dir);
-    let external_paths: Vec<(String, PathBuf)> = externals
-        .iter()
-        .map(|(name, path)| (name.clone(), PathBuf::from(path)))
-        .collect();
-    let external_datasets =
-        piccolo_bench::load_externals(&external_paths, &snapshot_dir).unwrap_or_else(|e| fail(&e));
+    opts.attach_sinks(&cli);
 
     // Two-level thread budget: --jobs is the total; each simulation gets --intra-jobs
     // threads for its own scatter/apply interior and the unit-level pool gets the
     // rest. Results are byte-identical for every split (docs/parallelism.md).
-    piccolo::set_intra_jobs(intra_jobs);
-    let runner = SweepRunner::new(effective_unit_jobs(jobs, piccolo::intra_jobs()));
+    piccolo::set_intra_jobs(opts.intra_jobs);
+    let runner = SweepRunner::new(effective_unit_jobs(opts.jobs, piccolo::intra_jobs()));
     let started = std::time::Instant::now();
-    let (mut specs, unknown) = default_specs(&figures, scale);
-    for f in &unknown {
+    let setup = build_campaign(&opts).unwrap_or_else(|e| cli.fail(&e));
+    for f in &setup.unknown {
         obs::warn(format!("unknown figure '{f}'"));
     }
-    if !external_datasets.is_empty() {
-        specs.push(external_spec(scale, &external_datasets));
-    }
+    let (scale, specs) = (setup.scale, setup.specs);
+    let out_path = opts.out.clone();
+    let metrics_path = opts.metrics.clone();
 
     // --merge: no campaign runs here — validate the shard set against this
     // invocation's plan (same figures, scale, code revision) and recombine.
@@ -311,11 +222,11 @@ fn main() {
             .iter()
             .map(|p| {
                 std::fs::read_to_string(p)
-                    .unwrap_or_else(|e| fail(&format!("cannot read shard file {p}: {e}")))
+                    .unwrap_or_else(|e| cli.fail(&format!("cannot read shard file {p}: {e}")))
             })
             .collect();
         let merged =
-            merge_shards(scale, &specs, &docs).unwrap_or_else(|e| fail(&format!("merge: {e}")));
+            merge_shards(scale, &specs, &docs).unwrap_or_else(|e| cli.fail(&format!("merge: {e}")));
         print_figures(&merged);
         let doc = results_json(scale, &merged);
         write_out(out_path.as_deref().unwrap_or("results.json"), &doc);
@@ -336,8 +247,37 @@ fn main() {
 
     // --shard: execute this process's projection of the grid and write the shard
     // document; derived rows need the whole grid, so figures are printed by --merge.
+    // With --resume too, journaled slots replay instead of re-running and freshly
+    // executed ones are appended — the same at-least-once substrate piccolo-serve
+    // leases run on.
     if let Some(shard) = shard {
-        let run = runner.run_campaign_shard(scale, &specs, shard);
+        let (run, resume_note) = match &resume_path {
+            Some(journal) => {
+                let resumed = runner
+                    .run_campaign_shard_resumed(scale, &specs, shard, journal)
+                    .unwrap_or_else(|e| {
+                        cli.fail(&format!("cannot use journal {}: {e}", journal.display()))
+                    });
+                let note = format!(
+                    "resume: {} unit(s) replayed from {}, {} executed this run, \
+                     {} journaled graph build(s) skipped{}",
+                    resumed.replayed,
+                    journal.display(),
+                    resumed.executed,
+                    resumed.builds_skipped,
+                    if resumed.corrupt + resumed.mismatched > 0 {
+                        format!(
+                            " ({} corrupt line(s) and {} foreign entr(ies) ignored)",
+                            resumed.corrupt, resumed.mismatched
+                        )
+                    } else {
+                        String::new()
+                    }
+                );
+                (resumed.run, Some(note))
+            }
+            None => (runner.run_campaign_shard(scale, &specs, shard), None),
+        };
         let default_name = format!("results.shard-{}-of-{}.json", shard.index, shard.count);
         write_out(out_path.as_deref().unwrap_or(&default_name), &run.to_json());
         let line = format!(
@@ -352,6 +292,10 @@ fn main() {
         );
         println!("{line}");
         obs::info(line);
+        if let Some(note) = resume_note {
+            println!("{note}");
+            obs::info(note);
+        }
         if let Some(path) = &metrics_path {
             write_metrics(path);
         }
@@ -367,7 +311,7 @@ fn main() {
             let resumed = runner
                 .run_campaign_resumed(scale, &specs, journal)
                 .unwrap_or_else(|e| {
-                    fail(&format!("cannot use journal {}: {e}", journal.display()))
+                    cli.fail(&format!("cannot use journal {}: {e}", journal.display()))
                 });
             let note = format!(
                 "resume: {} unit(s) replayed from {}, {} executed this run, \

@@ -1,0 +1,549 @@
+//! One flag surface for every driver: `repro`, the bench harness, `graphtool`,
+//! and the `piccolo-serve` / `piccolo-worker` entry points all parse the shared
+//! options (`--jobs`, `--intra-jobs`, `--external`, `--snapshot-dir`,
+//! `--events`, `--events-max-bytes`, `--metrics`, `--log-level`, `--out`,
+//! `--quick`/`--full`, `--progress`) through [`CommonOpts`], so a flag spelled
+//! the same way means the same thing everywhere and unknown-flag / usage errors
+//! render identically across binaries.
+//!
+//! Each driver enables only the subset it supports ([`FlagSet`]); a disabled
+//! common flag falls through to the driver's unknown-flag error exactly like a
+//! misspelled one. The campaign-shaping subset (figures, scale, intra-jobs,
+//! externals, snapshot dir) round-trips through compact JSON
+//! ([`CommonOpts::to_wire_json`] / [`CommonOpts::from_wire_json`]), which is how
+//! a `piccolo-worker` inherits the coordinator's options over the wire instead
+//! of re-specifying them.
+
+use piccolo::experiments::{default_specs, external_spec, Scale, FIGURES};
+use piccolo::json::{parse, Json};
+use piccolo::sweep::ExperimentSpec;
+use piccolo_graph::Dataset;
+use piccolo_obs as obs;
+use std::iter::Peekable;
+use std::path::PathBuf;
+use std::slice::Iter;
+
+/// Uniform error/usage reporting for one binary: every parse failure goes
+/// through [`CliParser::fail`], so all drivers exit the same way (message +
+/// usage on the leveled stderr sink, exit code 2).
+#[derive(Debug)]
+pub struct CliParser {
+    prog: &'static str,
+    usage: String,
+}
+
+impl CliParser {
+    /// A parser for binary `prog` whose usage line is `usage`.
+    #[must_use]
+    pub fn new(prog: &'static str, usage: impl Into<String>) -> Self {
+        Self {
+            prog,
+            usage: usage.into(),
+        }
+    }
+
+    /// Reports `msg` plus the usage line and exits with status 2 — the uniform
+    /// argument-error path of every driver.
+    pub fn fail(&self, msg: &str) -> ! {
+        obs::error(format!("{}: {msg}", self.prog));
+        obs::error(format!("usage: {}", self.usage));
+        obs::flush_sinks();
+        std::process::exit(2);
+    }
+
+    /// The uniform unknown-flag error.
+    pub fn unknown_flag(&self, flag: &str) -> ! {
+        self.fail(&format!("unknown flag '{flag}'"));
+    }
+
+    /// Fetches a flag's space-separated value or fails uniformly.
+    pub fn value<'a>(&self, flag: &str, it: &mut Peekable<Iter<'a, String>>) -> &'a str {
+        match it.next() {
+            Some(v) => v,
+            None => self.fail(&format!("{flag} needs a value")),
+        }
+    }
+}
+
+/// Which common flags a driver accepts. A flag outside the set falls through
+/// [`CommonOpts::accept`] to the driver's unknown-flag error.
+#[derive(Debug, Clone, Copy, Default)]
+#[allow(clippy::struct_excessive_bools)] // a flag mask is exactly a set of bools
+pub struct FlagSet {
+    /// `--quick` / `--full`.
+    pub scale: bool,
+    /// `--jobs N`.
+    pub jobs: bool,
+    /// `--intra-jobs N`.
+    pub intra_jobs: bool,
+    /// `--out PATH`.
+    pub out: bool,
+    /// `--external NAME=PATH` (repeatable).
+    pub external: bool,
+    /// `--snapshot-dir DIR`.
+    pub snapshot_dir: bool,
+    /// `--events PATH` and `--events-max-bytes N`.
+    pub events: bool,
+    /// `--metrics PATH`.
+    pub metrics: bool,
+    /// `--progress`.
+    pub progress: bool,
+    /// `--log-level LEVEL` (applied to the stderr sink as soon as parsed).
+    pub log_level: bool,
+}
+
+impl FlagSet {
+    /// Every common flag — the `repro` driver's surface.
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            scale: true,
+            jobs: true,
+            intra_jobs: true,
+            out: true,
+            external: true,
+            snapshot_dir: true,
+            events: true,
+            metrics: true,
+            progress: true,
+            log_level: true,
+        }
+    }
+
+    /// The usage-line fragment for the enabled flags, in canonical order.
+    #[must_use]
+    pub fn usage_fragment(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.scale {
+            parts.push("[--quick|--full]");
+        }
+        if self.jobs {
+            parts.push("[--jobs N]");
+        }
+        if self.intra_jobs {
+            parts.push("[--intra-jobs N]");
+        }
+        if self.out {
+            parts.push("[--out PATH]");
+        }
+        if self.external {
+            parts.push("[--external NAME=PATH ...]");
+        }
+        if self.snapshot_dir {
+            parts.push("[--snapshot-dir DIR]");
+        }
+        if self.events {
+            parts.push("[--events PATH] [--events-max-bytes N]");
+        }
+        if self.metrics {
+            parts.push("[--metrics PATH]");
+        }
+        if self.progress {
+            parts.push("[--progress]");
+        }
+        if self.log_level {
+            parts.push("[--log-level LEVEL]");
+        }
+        parts.join(" ")
+    }
+}
+
+/// The options shared by every driver. Construct with [`CommonOpts::new`],
+/// feed each argument through [`CommonOpts::accept`] inside the driver's parse
+/// loop, then use the fields (or [`build_campaign`] / `attach_sinks`).
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    enabled: FlagSet,
+    /// Requested figure names (positional; the driver pushes them).
+    pub figures: Vec<String>,
+    /// `--quick` (vs the `--full` default): the CI-sized scale.
+    pub quick: bool,
+    /// `--jobs N` worker threads; 0 = all cores.
+    pub jobs: usize,
+    /// `--intra-jobs M` threads inside each simulation; 0 = all cores.
+    pub intra_jobs: usize,
+    /// `--out PATH` output override.
+    pub out: Option<String>,
+    /// `--external NAME=PATH` pairs, in order, names deduplicated.
+    pub externals: Vec<(String, String)>,
+    /// `--snapshot-dir DIR` override for the `.pcsr` cache.
+    pub snapshot_dir: Option<PathBuf>,
+    /// `--events PATH`: the `piccolo-events/v1` JSONL stream.
+    pub events: Option<PathBuf>,
+    /// `--events-max-bytes N`: rotation cap for the event stream.
+    pub events_max_bytes: Option<u64>,
+    /// `--metrics PATH`: the `piccolo-metrics/v1` aggregate registry.
+    pub metrics: Option<PathBuf>,
+    /// `--progress`: live one-line status renderer.
+    pub progress: bool,
+}
+
+impl CommonOpts {
+    /// Fresh defaults with the given enabled set.
+    #[must_use]
+    pub fn new(enabled: FlagSet) -> Self {
+        Self {
+            enabled,
+            figures: Vec::new(),
+            quick: false,
+            jobs: 0,
+            intra_jobs: 1,
+            out: None,
+            externals: Vec::new(),
+            snapshot_dir: None,
+            events: None,
+            events_max_bytes: None,
+            metrics: None,
+            progress: false,
+        }
+    }
+
+    /// Tries to consume `arg` (plus its value, if any) as a common flag.
+    /// Returns `false` when `arg` is not an **enabled** common flag, leaving
+    /// the driver to handle its own flags and positionals — or to report the
+    /// uniform unknown-flag error.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        it: &mut Peekable<Iter<'_, String>>,
+        cli: &CliParser,
+    ) -> bool {
+        match arg {
+            "--quick" if self.enabled.scale => self.quick = true,
+            "--full" if self.enabled.scale => self.quick = false,
+            "--jobs" if self.enabled.jobs => {
+                let v = cli.value("--jobs", it);
+                self.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| cli.fail(&format!("invalid --jobs value '{v}'")));
+            }
+            "--intra-jobs" if self.enabled.intra_jobs => {
+                let v = cli.value("--intra-jobs", it);
+                self.intra_jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| cli.fail(&format!("invalid --intra-jobs value '{v}'")));
+            }
+            "--out" if self.enabled.out => self.out = Some(cli.value("--out", it).to_string()),
+            "--external" if self.enabled.external => {
+                let v = cli.value("--external", it);
+                match v.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                        if self.externals.iter().any(|(n, _)| n == name) {
+                            cli.fail(&format!("duplicate external name '{name}'"));
+                        }
+                        self.externals.push((name.to_string(), path.to_string()));
+                    }
+                    _ => cli.fail("--external expects NAME=PATH"),
+                }
+            }
+            "--snapshot-dir" if self.enabled.snapshot_dir => {
+                self.snapshot_dir = Some(PathBuf::from(cli.value("--snapshot-dir", it)));
+            }
+            "--events" if self.enabled.events => {
+                self.events = Some(PathBuf::from(cli.value("--events", it)));
+            }
+            "--events-max-bytes" if self.enabled.events => {
+                let v = cli.value("--events-max-bytes", it);
+                let bytes = v.parse().unwrap_or_else(|_| {
+                    cli.fail(&format!("invalid --events-max-bytes value '{v}'"))
+                });
+                if bytes == 0 {
+                    cli.fail("--events-max-bytes must be positive");
+                }
+                self.events_max_bytes = Some(bytes);
+            }
+            "--metrics" if self.enabled.metrics => {
+                self.metrics = Some(PathBuf::from(cli.value("--metrics", it)));
+            }
+            "--progress" if self.enabled.progress => self.progress = true,
+            "--log-level" if self.enabled.log_level => {
+                let v = cli.value("--log-level", it);
+                match obs::LevelFilter::parse(v) {
+                    Some(filter) => obs::init_stderr(filter),
+                    None => cli.fail(&format!(
+                        "invalid --log-level '{v}' (quiet|error|warn|info|debug)"
+                    )),
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// The scale selected by `--quick`/`--full`.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::quick()
+        } else {
+            Scale::default_repro()
+        }
+    }
+
+    /// Attaches the observability sinks these options request: the (optionally
+    /// rotation-capped) events file and the progress renderer. With `--events`
+    /// and no explicit `--metrics`, the aggregate registry defaults to
+    /// `metrics.json` beside the run — every driver behaves the same way.
+    pub fn attach_sinks(&mut self, cli: &CliParser) {
+        if let Some(path) = &self.events {
+            if let Err(e) = obs::add_events_file_with_limit(path, self.events_max_bytes) {
+                cli.fail(&format!(
+                    "cannot create events file {}: {e}",
+                    path.display()
+                ));
+            }
+            if self.metrics.is_none() {
+                self.metrics = Some(PathBuf::from("metrics.json"));
+            }
+        }
+        if self.progress {
+            obs::add_progress();
+        }
+    }
+
+    /// Serializes the campaign-shaping subset (figures, scale, intra-jobs,
+    /// externals, snapshot dir) as compact JSON — what a coordinator sends so
+    /// its workers inherit the options that define the plan. Paths travel
+    /// verbatim: external graphs and snapshot dirs must resolve on the worker.
+    #[must_use]
+    pub fn to_wire_json(&self) -> String {
+        Json::obj([
+            (
+                "figures",
+                Json::Arr(self.figures.iter().map(Json::str).collect()),
+            ),
+            ("quick", Json::Bool(self.quick)),
+            ("intra_jobs", Json::Num(self.intra_jobs as f64)),
+            (
+                "externals",
+                Json::Arr(
+                    self.externals
+                        .iter()
+                        .map(|(name, path)| Json::str(format!("{name}={path}")))
+                        .collect(),
+                ),
+            ),
+            (
+                "snapshot_dir",
+                self.snapshot_dir
+                    .as_ref()
+                    .map_or(Json::Null, |d| Json::str(d.display().to_string())),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Rebuilds the campaign-shaping subset from [`CommonOpts::to_wire_json`]
+    /// bytes. Fields outside the wire subset keep their defaults; the receiver
+    /// overlays its own local flags (jobs, log level, sinks) afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn from_wire_json(wire: &str) -> Result<Self, String> {
+        let doc = parse(wire).map_err(|e| format!("options: unparseable: {e}"))?;
+        let mut opts = Self::new(FlagSet::all());
+        let figures = doc
+            .get("figures")
+            .and_then(Json::as_array)
+            .ok_or("options: missing figures list")?;
+        for f in figures {
+            opts.figures.push(
+                f.as_str()
+                    .ok_or("options: non-string figure name")?
+                    .to_string(),
+            );
+        }
+        opts.quick = match doc.get("quick") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("options: missing quick".to_string()),
+        };
+        let intra = doc
+            .get("intra_jobs")
+            .and_then(Json::as_f64)
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .ok_or("options: bad intra_jobs")?;
+        opts.intra_jobs = intra as usize;
+        let externals = doc
+            .get("externals")
+            .and_then(Json::as_array)
+            .ok_or("options: missing externals list")?;
+        for e in externals {
+            let pair = e.as_str().ok_or("options: non-string external")?;
+            let (name, path) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("options: external '{pair}' is not NAME=PATH"))?;
+            opts.externals.push((name.to_string(), path.to_string()));
+        }
+        match doc.get("snapshot_dir") {
+            None | Some(Json::Null) => {}
+            Some(d) => {
+                opts.snapshot_dir = Some(PathBuf::from(
+                    d.as_str().ok_or("options: non-string snapshot_dir")?,
+                ));
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Everything needed to run (or plan) the campaign these options describe.
+#[derive(Debug)]
+pub struct CampaignSetup {
+    /// The selected scale.
+    pub scale: Scale,
+    /// The spec list, externals appended last — the plan-hash identity.
+    pub specs: Vec<ExperimentSpec>,
+    /// Figure names that matched nothing (the driver warns about them).
+    pub unknown: Vec<String>,
+    /// The loaded external datasets (kept alive for the campaign's duration).
+    pub datasets: Vec<Dataset>,
+}
+
+/// Resolves options into a concrete campaign: applies the default-figure rule
+/// (everything, unless only externals were requested), loads external graphs
+/// through the snapshot cache, and builds the spec list. `repro`, the
+/// coordinator, and every worker call this with the same wire-carried options,
+/// which is what makes their plan hashes agree.
+///
+/// # Errors
+///
+/// Reports external-graph load failures verbatim.
+pub fn build_campaign(opts: &CommonOpts) -> Result<CampaignSetup, String> {
+    let scale = opts.scale();
+    let mut figures = opts.figures.clone();
+    if figures.iter().any(|f| f == "all") || (figures.is_empty() && opts.externals.is_empty()) {
+        figures = FIGURES.iter().map(|s| (*s).to_string()).collect();
+    }
+    let snapshot_dir = opts
+        .snapshot_dir
+        .clone()
+        .unwrap_or_else(piccolo_io::default_snapshot_dir);
+    let external_paths: Vec<(String, PathBuf)> = opts
+        .externals
+        .iter()
+        .map(|(name, path)| (name.clone(), PathBuf::from(path)))
+        .collect();
+    let datasets = crate::load_externals(&external_paths, &snapshot_dir)?;
+    let (mut specs, unknown) = default_specs(&figures, scale);
+    if !datasets.is_empty() {
+        specs.push(external_spec(scale, &datasets));
+    }
+    Ok(CampaignSetup {
+        scale,
+        specs,
+        unknown,
+        datasets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn parse_all(args: &[&str]) -> CommonOpts {
+        let cli = CliParser::new("test", "test");
+        let args = strings(args);
+        let mut opts = CommonOpts::new(FlagSet::all());
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            assert!(
+                opts.accept(arg, &mut it, &cli),
+                "flag {arg} not accepted by the full set"
+            );
+        }
+        opts
+    }
+
+    #[test]
+    fn common_flags_parse_into_their_fields() {
+        let opts = parse_all(&[
+            "--quick",
+            "--jobs",
+            "4",
+            "--intra-jobs",
+            "2",
+            "--out",
+            "r.json",
+            "--external",
+            "web=graph.txt",
+            "--snapshot-dir",
+            "snaps",
+            "--events",
+            "ev.jsonl",
+            "--events-max-bytes",
+            "4096",
+            "--metrics",
+            "m.json",
+        ]);
+        assert!(opts.quick);
+        assert_eq!((opts.jobs, opts.intra_jobs), (4, 2));
+        assert_eq!(opts.out.as_deref(), Some("r.json"));
+        assert_eq!(opts.externals, vec![("web".into(), "graph.txt".into())]);
+        assert_eq!(opts.snapshot_dir.as_deref(), Some(Path::new("snaps")));
+        assert_eq!(opts.events.as_deref(), Some(Path::new("ev.jsonl")));
+        assert_eq!(opts.events_max_bytes, Some(4096));
+        assert_eq!(opts.metrics.as_deref(), Some(Path::new("m.json")));
+    }
+
+    use std::path::Path;
+
+    #[test]
+    fn disabled_flags_fall_through_to_the_driver() {
+        let cli = CliParser::new("test", "test");
+        let args = strings(&["--jobs"]);
+        let mut opts = CommonOpts::new(FlagSet {
+            log_level: true,
+            ..FlagSet::default()
+        });
+        let mut it = args.iter().peekable();
+        let arg = it.next().unwrap();
+        assert!(!opts.accept(arg, &mut it, &cli));
+        assert_eq!(it.next(), None); // the value was not consumed either
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_the_campaign_shaping_subset() {
+        let mut opts = CommonOpts::new(FlagSet::all());
+        opts.figures = strings(&["fig10", "table2"]);
+        opts.quick = true;
+        opts.intra_jobs = 3;
+        opts.externals = vec![("web".into(), "a/b.txt".into())];
+        opts.snapshot_dir = Some(PathBuf::from("snaps"));
+        let wire = opts.to_wire_json();
+        let back = CommonOpts::from_wire_json(&wire).unwrap();
+        assert_eq!(back.figures, opts.figures);
+        assert_eq!(back.quick, opts.quick);
+        assert_eq!(back.intra_jobs, opts.intra_jobs);
+        assert_eq!(back.externals, opts.externals);
+        assert_eq!(back.snapshot_dir, opts.snapshot_dir);
+        // Local-only fields reset to defaults on the receiving side.
+        assert_eq!(back.jobs, 0);
+        assert!(back.events.is_none());
+    }
+
+    #[test]
+    fn wire_json_rejects_malformed_documents() {
+        assert!(CommonOpts::from_wire_json("{").is_err());
+        assert!(CommonOpts::from_wire_json("{}").is_err());
+        assert!(CommonOpts::from_wire_json(r#"{"figures":[1],"quick":true}"#).is_err());
+    }
+
+    #[test]
+    fn usage_fragment_lists_only_enabled_flags() {
+        let frag = FlagSet {
+            jobs: true,
+            log_level: true,
+            ..FlagSet::default()
+        }
+        .usage_fragment();
+        assert_eq!(frag, "[--jobs N] [--log-level LEVEL]");
+        assert!(FlagSet::all()
+            .usage_fragment()
+            .contains("--events-max-bytes"));
+    }
+}

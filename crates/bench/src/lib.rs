@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 use piccolo::campaign::CampaignStats;
 use piccolo::experiments::{geomean, Point};
 use piccolo::json::Json;

@@ -753,6 +753,85 @@ impl SweepRunner {
         }
     }
 
+    /// Executes one [`Shard`] of the campaign **with** a run journal: the composition
+    /// of [`SweepRunner::run_campaign_shard`] and [`SweepRunner::run_campaign_resumed`].
+    /// Journal entries carry global unit indices, so the shard projection simply skips
+    /// replayed slots: only the shard's units missing from the journal are executed
+    /// (and appended), and the returned [`ShardRun`] covers the shard's full
+    /// projection — replayed and executed slots alike — so it merges exactly like an
+    /// uninterrupted shard. This is also the lease model the networked coordinator
+    /// (`piccolo-serve`) runs on: any subset of the grid can be re-dispatched and the
+    /// journal makes re-execution idempotent.
+    pub fn run_campaign_shard_resumed(
+        &self,
+        scale: Scale,
+        specs: &[ExperimentSpec],
+        shard: Shard,
+        journal_path: &Path,
+    ) -> std::io::Result<ShardResumeRun> {
+        let plan = plan_hash(scale, specs);
+        let unit_index = flatten_units(specs);
+        let mut replay = journal::read_replay(journal_path, plan, specs, &unit_index)?;
+        let selected: Vec<usize> = (0..unit_index.len())
+            .filter(|&gid| shard.selects(gid) && !replay.entries.contains_key(&gid))
+            .collect();
+        let writer = journal::Writer::append_to(journal_path, plan)?;
+        let executed = selected.len();
+        let on_done = |gid: usize, result: &UnitResult| writer.record(gid, result);
+        let built_now: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let build = |key: GraphKey| {
+            let spec = build_spec(key);
+            writer.record_build(&spec);
+            built_now.lock().unwrap().push(spec);
+            default_build(key)
+        };
+        let (mut slots, stats) = execute_selected(
+            self.jobs(),
+            specs,
+            &unit_index,
+            &selected,
+            &build,
+            Some(&on_done),
+        );
+        let built_now = built_now.into_inner().unwrap();
+        let builds_skipped = replay
+            .builds
+            .iter()
+            .filter(|spec| !built_now.contains(spec))
+            .count();
+        let mut replayed = 0usize;
+        let units: Vec<(usize, UnitResult)> = (0..unit_index.len())
+            .filter(|&gid| shard.selects(gid))
+            .map(|gid| {
+                let result = match slots[gid].take() {
+                    Some(result) => result,
+                    None => {
+                        replayed += 1;
+                        replay
+                            .entries
+                            .remove(&gid)
+                            .expect("every unscheduled shard slot was replayed")
+                    }
+                };
+                (gid, result)
+            })
+            .collect();
+        Ok(ShardResumeRun {
+            run: ShardRun {
+                shard,
+                stats,
+                plan,
+                scale,
+                units,
+            },
+            replayed,
+            executed,
+            corrupt: replay.corrupt,
+            mismatched: replay.mismatched,
+            builds_skipped,
+        })
+    }
+
     /// Executes the campaign with a run journal at `journal_path`: slots recovered
     /// from the journal (matching plan hash, verified checksum) are **replayed**
     /// without executing, only the remainder is scheduled, and every newly completed
@@ -857,6 +936,26 @@ pub struct ResumeRun {
     pub builds_skipped: usize,
 }
 
+/// Output of [`SweepRunner::run_campaign_shard_resumed`]: the executed shard plus what
+/// the journal contributed to its projection.
+#[derive(Debug)]
+pub struct ShardResumeRun {
+    /// The shard's full projection (replayed and executed slots alike); serializes
+    /// and merges exactly like an uninterrupted shard run.
+    pub run: ShardRun,
+    /// Slots of this shard's projection pre-filled from the journal. Journal entries
+    /// outside the projection are left untouched (other shards replay them).
+    pub replayed: usize,
+    /// Units executed (and appended to the journal) by this invocation.
+    pub executed: usize,
+    /// Journal lines dropped by the checksum check.
+    pub corrupt: usize,
+    /// Well-formed entries ignored because they belong to a different plan.
+    pub mismatched: usize,
+    /// Journaled graph builds this invocation did not repeat.
+    pub builds_skipped: usize,
+}
+
 /// One executed shard: the raw results of its grid slots, tagged with the plan hash
 /// that [`merge_shards`] validates before recombining.
 #[derive(Debug)]
@@ -881,48 +980,57 @@ impl ShardRun {
     /// ascending global unit order (deterministic bytes, like everything else in the
     /// results pipeline).
     pub fn to_json(&self) -> String {
-        let doc = Json::obj([
-            ("schema", Json::str("piccolo-results-shard/v1")),
-            ("plan", Json::str(plan_hex(self.plan))),
-            (
-                "shard",
-                Json::obj([
-                    ("index", Json::Num(self.shard.index as f64)),
-                    ("count", Json::Num(self.shard.count as f64)),
-                ]),
-            ),
-            (
-                "scale",
-                Json::obj([
-                    ("scale_shift", Json::Num(self.scale.scale_shift as f64)),
-                    // The seed is a u64; like the codec's counters it rides as a
-                    // decimal string so it can never round past 2^53.
-                    ("seed", Json::str(self.scale.seed.to_string())),
-                    (
-                        "max_iterations",
-                        Json::Num(self.scale.max_iterations as f64),
-                    ),
-                ]),
-            ),
-            (
-                "units",
-                Json::Arr(
-                    self.units
-                        .iter()
-                        .map(|(gid, result)| {
-                            Json::obj([
-                                ("unit", Json::Num(*gid as f64)),
-                                ("result", codec::unit_result_to_json(result)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
-        let mut out = doc.to_string();
-        out.push('\n');
-        out
+        shard_doc(
+            self.plan,
+            self.shard,
+            self.scale,
+            self.units
+                .iter()
+                .map(|(gid, result)| (*gid, codec::unit_result_to_json(result)))
+                .collect(),
+        )
     }
+}
+
+/// Serializes one `piccolo-results-shard/v1` document. Shared by [`ShardRun::to_json`]
+/// and [`PlannedCampaign::evaluate`], so locally-executed and network-collected grids
+/// flow through byte-identical documents into [`merge_shards`].
+fn shard_doc(plan: u64, shard: Shard, scale: Scale, units: Vec<(usize, Json)>) -> String {
+    let doc = Json::obj([
+        ("schema", Json::str("piccolo-results-shard/v1")),
+        ("plan", Json::str(plan_hex(plan))),
+        (
+            "shard",
+            Json::obj([
+                ("index", Json::Num(shard.index as f64)),
+                ("count", Json::Num(shard.count as f64)),
+            ]),
+        ),
+        (
+            "scale",
+            Json::obj([
+                ("scale_shift", Json::Num(scale.scale_shift as f64)),
+                // The seed is a u64; like the codec's counters it rides as a
+                // decimal string so it can never round past 2^53.
+                ("seed", Json::str(scale.seed.to_string())),
+                ("max_iterations", Json::Num(scale.max_iterations as f64)),
+            ]),
+        ),
+        (
+            "units",
+            Json::Arr(
+                units
+                    .into_iter()
+                    .map(|(gid, result)| {
+                        Json::obj([("unit", Json::Num(gid as f64)), ("result", result)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
 }
 
 /// Recombines a complete set of shard documents ([`ShardRun::to_json`]) into the
@@ -1053,6 +1161,233 @@ pub fn merge_shards(
         .collect::<Result<_, _>>()?;
     merge_span.close(vec![("units", (unit_results.len() as u64).into())]);
     Ok(evaluate_figures(specs, &unit_results))
+}
+
+/// A campaign plan with a stable identity: scale + spec list + the flattened unit
+/// grid, pinned by [`plan_hash`]. This is the **lease projection** API the networked
+/// coordinator (`piccolo-serve`) runs on — and the substrate shared by shards, resume
+/// journals, and local runs:
+///
+/// * Any subset of global unit indices can be executed
+///   ([`PlannedCampaign::execute_units`]), with each completed unit streamed out as
+///   its canonical codec JSON — the exact bytes a journal entry or wire frame carries.
+/// * Results arriving from elsewhere (another process, a TCP frame, a replayed
+///   journal line) are validated against the grid
+///   ([`PlannedCampaign::validate_result`]) and normalized to canonical bytes before
+///   a slot is trusted.
+/// * A fully-populated grid is merged through the same `plan_hash`-validated
+///   [`merge_shards`] path as `repro --merge` ([`PlannedCampaign::evaluate`]), so
+///   `results.json` built from network-collected results is byte-identical to a local
+///   `--jobs 1` run.
+/// * The server-side journal ([`PlannedCampaign::open_journal`] /
+///   [`PlannedCampaign::replay_journal`]) uses the exact run-journal line format, so
+///   a coordinator's streamed journal is replayable by `repro --resume` and vice
+///   versa.
+///
+/// Duplicate results (at-least-once delivery after a lease timeout) are harmless by
+/// construction: results land by global unit index and the grid is deterministic, so
+/// a duplicate is necessarily byte-identical and the caller discards it by slot.
+#[derive(Debug)]
+pub struct PlannedCampaign {
+    scale: Scale,
+    specs: Vec<ExperimentSpec>,
+    plan: u64,
+    unit_index: Vec<(usize, usize)>,
+}
+
+impl PlannedCampaign {
+    /// Plans a campaign over `specs` at `scale`, computing the plan hash and the
+    /// flattened unit grid.
+    #[must_use]
+    pub fn new(scale: Scale, specs: Vec<ExperimentSpec>) -> Self {
+        let plan = plan_hash(scale, &specs);
+        let unit_index = flatten_units(&specs);
+        Self {
+            scale,
+            specs,
+            plan,
+            unit_index,
+        }
+    }
+
+    /// The plan's scale.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The plan's spec list, in registration order.
+    #[must_use]
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// The 16-hex plan-hash fingerprint two processes compare before exchanging a
+    /// single unit result.
+    #[must_use]
+    pub fn plan_hex(&self) -> String {
+        plan_hex(self.plan)
+    }
+
+    /// Total number of grid units (global indices are `0..num_units()`).
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.unit_index.len()
+    }
+
+    /// Executes the given global unit indices (any order) over one worker pool,
+    /// building exactly the distinct graphs those units need. `on_unit` is called
+    /// from worker threads as each unit completes, with the unit's canonical codec
+    /// JSON — the bytes to journal, send over a wire, or both. Returns the
+    /// scheduling stats.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range or duplicate indices before executing anything.
+    pub fn execute_units(
+        &self,
+        jobs: usize,
+        units: &[usize],
+        on_unit: &(dyn Fn(usize, &str) + Sync),
+    ) -> Result<CampaignStats, String> {
+        let mut seen = vec![false; self.unit_index.len()];
+        for &gid in units {
+            if gid >= self.unit_index.len() {
+                return Err(format!(
+                    "unit {gid} out of range (grid has {} units)",
+                    self.unit_index.len()
+                ));
+            }
+            if seen[gid] {
+                return Err(format!("unit {gid} listed twice"));
+            }
+            seen[gid] = true;
+        }
+        // The executor's contract wants ascending indices; callers (a lease, a
+        // replayed work list) may hold any order.
+        let mut selected = units.to_vec();
+        selected.sort_unstable();
+        let hook = |gid: usize, result: &UnitResult| {
+            on_unit(gid, &codec::unit_result_to_json(result).to_string());
+        };
+        let (_slots, stats) = execute_selected(
+            jobs,
+            &self.specs,
+            &self.unit_index,
+            &selected,
+            &default_build,
+            Some(&hook),
+        );
+        Ok(stats)
+    }
+
+    /// Validates one incoming result (range, unit-kind against the grid, lossless
+    /// decode) and returns its **canonical** codec bytes — the normalization step that
+    /// makes duplicate discard and journal replay byte-exact regardless of who
+    /// serialized the result first.
+    ///
+    /// # Errors
+    ///
+    /// Describes what failed validation; the caller must discard the result.
+    pub fn validate_result(&self, unit: usize, result_json: &str) -> Result<String, String> {
+        if unit >= self.unit_index.len() {
+            return Err(format!(
+                "unit {unit} out of range (grid has {} units)",
+                self.unit_index.len()
+            ));
+        }
+        let v = parse(result_json.trim()).map_err(|e| format!("unit {unit}: unparseable: {e}"))?;
+        let (figure, u) = self.unit_index[unit];
+        if !codec::kind_matches(&v, &self.specs[figure].units()[u]) {
+            return Err(format!("unit {unit} kind does not match the plan's grid"));
+        }
+        let result = codec::unit_result_from_json(&v).map_err(|e| format!("unit {unit}: {e}"))?;
+        Ok(codec::unit_result_to_json(&result).to_string())
+    }
+
+    /// Merges a fully-populated grid of canonical results (global index + codec JSON,
+    /// any order) into the campaign's figures, via the same `plan_hash`-validated
+    /// [`merge_shards`] path as `repro --merge` — one synthetic 0/1 shard document,
+    /// so every validation merge performs applies here too.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`merge_shards`] rejects: missing or duplicate slots, kind mismatches,
+    /// undecodable results.
+    pub fn evaluate(&self, results: &[(usize, String)]) -> Result<Vec<FigureRows>, String> {
+        let mut units = Vec::with_capacity(results.len());
+        for (gid, result_json) in results {
+            let v = parse(result_json.trim())
+                .map_err(|e| format!("unit {gid}: unparseable result: {e}"))?;
+            units.push((*gid, v));
+        }
+        units.sort_by_key(|(gid, _)| *gid);
+        let doc = shard_doc(self.plan, Shard { index: 0, count: 1 }, self.scale, units);
+        merge_shards(self.scale, &self.specs, &[doc])
+    }
+
+    /// Opens (or creates) the plan's journal at `path` for appending — the exact
+    /// format `repro --resume` writes, so a coordinator-streamed journal finishes a
+    /// local run and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file open/create errors.
+    pub fn open_journal(&self, path: &Path) -> std::io::Result<CampaignJournal> {
+        Ok(CampaignJournal {
+            writer: journal::Writer::append_to(path, self.plan)?,
+        })
+    }
+
+    /// Scans the journal at `path` and returns every entry that verifies against this
+    /// plan, as canonical codec bytes by global unit index. A missing file is an
+    /// empty journal, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than a missing file.
+    pub fn replay_journal(&self, path: &Path) -> std::io::Result<JournalReplay> {
+        let replay = journal::read_replay(path, self.plan, &self.specs, &self.unit_index)?;
+        Ok(JournalReplay {
+            entries: replay
+                .entries
+                .into_iter()
+                .map(|(gid, result)| (gid, codec::unit_result_to_json(&result).to_string()))
+                .collect(),
+            corrupt: replay.corrupt,
+            mismatched: replay.mismatched,
+        })
+    }
+}
+
+/// Thread-safe appender for a plan's run journal (see
+/// [`PlannedCampaign::open_journal`]). One checksummed line per recorded result,
+/// safe to call from connection-handler or worker threads.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    writer: journal::Writer,
+}
+
+impl CampaignJournal {
+    /// Appends one completed unit, given its **canonical** codec bytes (from
+    /// [`PlannedCampaign::validate_result`] or an `on_unit` callback). The written
+    /// line is byte-identical to what a local resumed run would journal for the same
+    /// slot.
+    pub fn record_result(&self, unit: usize, canonical_result_json: &str) {
+        self.writer.record_raw(unit, canonical_result_json);
+    }
+}
+
+/// What [`PlannedCampaign::replay_journal`] recovered: canonical codec bytes per
+/// verified slot, plus the damage counters.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Verified entries by global unit index, re-serialized to canonical bytes.
+    pub entries: BTreeMap<usize, String>,
+    /// Lines dropped by the checksum / framing check.
+    pub corrupt: usize,
+    /// Well-formed entries for a different plan or an impossible slot.
+    pub mismatched: usize,
 }
 
 /// Campaign executor parameterized over the graph-build function, so tests can count
@@ -1552,5 +1887,104 @@ mod tests {
         assert_eq!(results_json(tiny(), &resumed.run.figures), doc);
 
         let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn planned_campaign_lease_execution_merges_to_local_bytes() {
+        // The networked substrate: execute the grid as arbitrary "leases" of
+        // unordered unit indices, validate each streamed result, and evaluate
+        // the collected grid — the merged document must be byte-identical to a
+        // plain sequential run of the same plan.
+        let specs = shared_graph_specs();
+        let reference = SweepRunner::sequential().run_campaign(&specs);
+        let doc = results_json(tiny(), &reference.figures);
+
+        let campaign = PlannedCampaign::new(tiny(), shared_graph_specs());
+        assert!(campaign.num_units() > 2);
+        let collected: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let hook = |unit: usize, result_json: &str| {
+            let canonical = campaign.validate_result(unit, result_json).unwrap();
+            assert_eq!(canonical, result_json, "hook results are already canonical");
+            collected.lock().unwrap().push((unit, canonical));
+        };
+        // Two leases, deliberately interleaved and descending: the projection
+        // accepts any order.
+        let all: Vec<usize> = (0..campaign.num_units()).collect();
+        let (odd, even): (Vec<usize>, Vec<usize>) = all.iter().partition(|&&g| g % 2 == 1);
+        for lease in [odd, even] {
+            let reversed: Vec<usize> = lease.into_iter().rev().collect();
+            campaign.execute_units(2, &reversed, &hook).unwrap();
+        }
+        // The projection rejects malformed leases outright.
+        assert!(campaign.execute_units(1, &[0, 0], &hook).is_err());
+        assert!(campaign
+            .execute_units(1, &[campaign.num_units()], &hook)
+            .is_err());
+
+        let results = collected.into_inner().unwrap();
+        assert_eq!(results.len(), campaign.num_units());
+        let figures = campaign.evaluate(&results).unwrap();
+        assert_eq!(results_json(campaign.scale(), &figures), doc);
+        // And malformed results: range, figure-kind mismatch.
+        assert!(campaign
+            .validate_result(campaign.num_units(), "{}")
+            .is_err());
+        assert!(campaign
+            .validate_result(0, "{\"not\":\"a result\"}")
+            .is_err());
+    }
+
+    #[test]
+    fn planned_campaign_journal_streams_and_replays() {
+        // The coordinator's crash-safety story: results recorded one at a time
+        // through CampaignJournal replay byte-identically, and a journal for a
+        // different plan contributes nothing.
+        let dir = std::env::temp_dir().join(format!("piccolo-planned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("planned.jsonl");
+        let _ = std::fs::remove_file(&journal_path);
+
+        let campaign = PlannedCampaign::new(tiny(), shared_graph_specs());
+        let journal = campaign.open_journal(&journal_path).unwrap();
+        let collected: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let units: Vec<usize> = (0..campaign.num_units()).collect();
+        campaign
+            .execute_units(1, &units, &|unit, result_json| {
+                journal.record_result(unit, result_json);
+                collected
+                    .lock()
+                    .unwrap()
+                    .push((unit, result_json.to_string()));
+            })
+            .unwrap();
+        let mut recorded = collected.into_inner().unwrap();
+        recorded.sort_unstable_by_key(|(gid, _)| *gid);
+
+        let replay = campaign.replay_journal(&journal_path).unwrap();
+        assert_eq!((replay.corrupt, replay.mismatched), (0, 0));
+        let replayed: Vec<(usize, String)> = replay.entries.into_iter().collect();
+        assert_eq!(
+            replayed, recorded,
+            "replay returns the exact recorded bytes"
+        );
+
+        // A plan with a different scale verifies none of the entries.
+        let other = PlannedCampaign::new(
+            Scale {
+                max_iterations: 1,
+                ..tiny()
+            },
+            shared_graph_specs(),
+        );
+        assert_ne!(other.plan_hex(), campaign.plan_hex());
+        let foreign = other.replay_journal(&journal_path).unwrap();
+        assert!(foreign.entries.is_empty());
+        assert_eq!(foreign.mismatched, recorded.len());
+
+        // A missing journal is an empty replay, not an error (fresh start).
+        let fresh = campaign.replay_journal(&dir.join("absent.jsonl")).unwrap();
+        assert!(fresh.entries.is_empty() && fresh.corrupt == 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

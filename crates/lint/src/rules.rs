@@ -48,14 +48,20 @@ pub const RESULT_CRATES: &[&str] = &[
     "piccolo-dram",
     "piccolo",
     "piccolo-io",
+    "piccolo-serve",
 ];
 
 /// Files allowed to call `Instant::now` / `SystemTime::now`: the phase
 /// wall-profiler in the pipeline (its numbers flow out through piccolo-obs,
-/// never into results.json). The bench harness crate and piccolo-obs (which
-/// owns event timestamps) are exempted wholesale by crate name, not listed
-/// here.
-pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &["crates/accel/src/pipeline.rs"];
+/// never into results.json), and the serve coordinator (lease deadlines and
+/// heartbeat timeouts are liveness mechanics — they decide *when* work is
+/// re-dispatched, never what any result contains). The bench harness crate
+/// and piccolo-obs (which owns event timestamps) are exempted wholesale by
+/// crate name, not listed here.
+pub const WALL_CLOCK_ALLOWED_FILES: &[&str] = &[
+    "crates/accel/src/pipeline.rs",
+    "crates/serve/src/coordinator.rs",
+];
 
 /// Files allowed to format floats: the lossless shortest-round-trip JSON
 /// writer and the unit-result codec built on it.
@@ -75,7 +81,7 @@ seed: iterating one yields a different order every run. A single iteration
 order leaking into anything that feeds results.json, the run journal, or a
 shard document silently breaks the byte-identity guarantee the campaign
 tests, shard merge, and resume all depend on. In the result-producing crates
-(piccolo-graph, -accel, -cache, -dram, piccolo, -io) use BTreeMap/BTreeSet,
+(piccolo-graph, -accel, -cache, -dram, piccolo, -io, -serve) use BTreeMap/BTreeSet,
 a Vec, or a key-indexed table instead — lookups stay O(log n) and every
 iteration is sorted, hence deterministic. The rule is name-based (any
 identifier token `HashMap`/`HashSet` outside comments, strings, and
@@ -93,9 +99,12 @@ from DRAM clocks (RunResult::elapsed_ns = accel_cycles / clock_ghz), so
 library code never needs a real clock. The only legitimate consumers are the
 bench harness crate (wall time IS its product), piccolo-obs (event
 timestamps and phase durations are its product, and they only ever flow OUT
-into obs artifacts), and the pipeline phase wall-profiler
+into obs artifacts), the pipeline phase wall-profiler
 (crates/accel/src/pipeline.rs, whose numbers reach stderr/events/BENCH.json,
-never results.json). Everything else is an error.",
+never results.json), and the serve coordinator
+(crates/serve/src/coordinator.rs, whose lease deadlines decide when units
+are re-dispatched — at-least-once execution with by-slot dedup makes the
+result bytes independent of that timing). Everything else is an error.",
     },
     RuleInfo {
         name: "no-bare-eprintln",
@@ -107,7 +116,8 @@ really silences them and every message carries a level. A bare `eprintln!`
 (or `eprint!`) bypasses the sink: it ignores the level filter, garbles the
 `--progress` renderer's line rewriting, and is invisible to any attached
 event sink. This rule forbids the two macros in the driver surfaces —
-piccolo-bench outside tests/ and piccolo-io's src/bin/ CLIs — where
+piccolo-bench outside tests/, piccolo-io's src/bin/ CLIs, and all of
+piccolo-serve (the daemon and worker are driver surfaces end to end) — where
 obs::error/warn/info/debug are the drop-in replacements. Library crates are
 out of scope (they do not print), as is piccolo-obs itself (the stderr sink
 is the one legitimate writer).",
@@ -345,6 +355,8 @@ fn no_bare_eprintln(file: &SourceFile, out: &mut Vec<Finding>) {
     let in_scope = match file.crate_name.as_str() {
         "piccolo-bench" => !file.rel_path.contains("/tests/"),
         "piccolo-io" => file.role == (FileRole::Library { is_bin: true }),
+        // The serve daemon and worker are driver surfaces end to end.
+        "piccolo-serve" => true,
         _ => false,
     };
     if !in_scope {

@@ -428,6 +428,20 @@ pub fn add_events_file(path: &Path) -> std::io::Result<SinkId> {
     Ok(add_sink(Arc::new(sink::JsonlSink::create(path)?)))
 }
 
+/// Like [`add_events_file`], but with a rotation cap (`--events-max-bytes`):
+/// when a write would push the file past `max_bytes`, it rotates to `<path>.1`
+/// and a fresh generation starts with its own schema header. See
+/// [`sink::JsonlSink::create_with_limit`].
+///
+/// # Errors
+///
+/// Propagates the error from creating/truncating the file.
+pub fn add_events_file_with_limit(path: &Path, max_bytes: Option<u64>) -> std::io::Result<SinkId> {
+    Ok(add_sink(Arc::new(sink::JsonlSink::create_with_limit(
+        path, max_bytes,
+    )?)))
+}
+
 /// Attaches the live progress renderer (`--progress`).
 pub fn add_progress() -> SinkId {
     add_sink(Arc::new(progress::ProgressSink::new()))

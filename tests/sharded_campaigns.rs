@@ -254,3 +254,81 @@ fn shard_files_from_a_different_plan_never_merge() {
     // The matching plan still merges fine.
     assert!(merge_shards(scale_a, &specs_full, &docs).is_ok());
 }
+
+#[test]
+fn shard_and_resume_compose_to_identical_bytes() {
+    // `--shard I/N --resume JOURNAL` composes: journal entries carry global unit
+    // indices, so a shard projection replays exactly its own journaled slots and
+    // executes only the rest. Property-style: truncate a full run's journal at
+    // Rng64-chosen points, then finish the campaign as N resumed shards *sharing*
+    // that journal — the merge must be byte-identical to the sequential run, and a
+    // second pass over the (now complete) journal must execute nothing.
+    let dir = scratch("shard-resume");
+    let scale = Scale {
+        scale_shift: 15,
+        seed: 17,
+        max_iterations: 2,
+    };
+    let specs = specs_for(scale);
+    let runner = SweepRunner::new(2);
+
+    let journal = dir.join("journal.jsonl");
+    let full = runner
+        .run_campaign_resumed(scale, &specs, &journal)
+        .unwrap();
+    let expected = results_json(scale, &full.run.figures);
+    let total = full.executed;
+    let lines: Vec<String> = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+
+    let mut rng = Rng64::seed_from_u64(0xc0de);
+    for trial in 0..3 {
+        let count = 2 + (rng.next_u64() as usize) % 2; // 2 or 3 shards
+        let keep = (rng.next_u64() as usize) % lines.len();
+        let kept_units = lines[..keep]
+            .iter()
+            .filter(|l| !l.contains("\"built\":"))
+            .count();
+        let part = dir.join(format!("journal-{trial}.jsonl"));
+        std::fs::write(&part, format!("{}\n", lines[..keep].join("\n"))).unwrap();
+
+        let mut docs = Vec::new();
+        let mut replayed = 0;
+        let mut executed = 0;
+        for index in 0..count {
+            let shard = Shard { index, count };
+            let resumed = runner
+                .run_campaign_shard_resumed(scale, &specs, shard, &part)
+                .unwrap();
+            assert_eq!(resumed.corrupt, 0, "trial {trial} shard {shard}");
+            replayed += resumed.replayed;
+            executed += resumed.executed;
+            docs.push(resumed.run.to_json());
+        }
+        // Shards partition the grid, so their replayed/executed counts partition
+        // the journal's units and the remainder. (Later shards never replay an
+        // earlier shard's appends: those units belong to other projections.)
+        assert_eq!(replayed, kept_units, "trial {trial}");
+        assert_eq!(executed, total - kept_units, "trial {trial}");
+        let merged = merge_shards(scale, &specs, &docs).unwrap();
+        assert_eq!(
+            results_json(scale, &merged),
+            expected,
+            "trial {trial}: {count} resumed shards over a journal cut at {keep} \
+             must merge to the sequential bytes"
+        );
+
+        // The shared journal is complete now: every shard replays, none executes.
+        for index in 0..count {
+            let again = runner
+                .run_campaign_shard_resumed(scale, &specs, Shard { index, count }, &part)
+                .unwrap();
+            assert_eq!(again.executed, 0, "trial {trial}: complete journal");
+            assert_eq!(again.run.stats.graphs_built, 0);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
